@@ -1,0 +1,48 @@
+//! Ablation — the §V design choices, isolated:
+//!
+//! * Prim's heap discipline: lazy duplicates vs indexed decrease-key.
+//! * LLP-Prim's early fixing: how much heap traffic it removes (asserted
+//!   as a side effect; timed against classic Prim).
+//! * Boruvka synchronization: GBBS-style CAS/union-find baseline vs
+//!   LLP-Boruvka's relaxed pointer jumping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_bench::{run_algorithm, Algorithm, Scale, Workload};
+use llp_runtime::ThreadPool;
+
+fn ablation(c: &mut Criterion) {
+    let w = Workload::road(Scale::Small, 42);
+    let pool1 = ThreadPool::new(1);
+    let pool = ThreadPool::new(llp_runtime::available_threads().min(4));
+
+    // Sanity side-check once, outside the timing loop: the headline
+    // mechanism must hold or the timings are meaningless.
+    let prim = run_algorithm(Algorithm::Prim, &w.graph, 0, &pool1);
+    let llp = run_algorithm(Algorithm::LlpPrimSeq, &w.graph, 0, &pool1);
+    assert!(
+        llp.stats.heap_ops() < prim.stats.heap_ops(),
+        "LLP-Prim must reduce heap traffic ({} vs {})",
+        llp.stats.heap_ops(),
+        prim.stats.heap_ops()
+    );
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (label, algo, p) in [
+        ("prim_lazy_heap", Algorithm::Prim, &pool1),
+        ("prim_indexed_heap", Algorithm::PrimIndexed, &pool1),
+        ("llp_prim_early_fixing", Algorithm::LlpPrimSeq, &pool1),
+        ("boruvka_cas_baseline", Algorithm::Boruvka, &pool),
+        ("llp_boruvka_pointer_jump", Algorithm::LlpBoruvka, &pool),
+        ("kruskal_reference", Algorithm::Kruskal, &pool1),
+        ("boruvka_bfs_sequential", Algorithm::BoruvkaSeq, &pool1),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, &w.name), &w.graph, |b, graph| {
+            b.iter(|| run_algorithm(algo, graph, 0, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 2 — single-threaded comparison: Prim vs LLP-Prim (1T) vs Boruvka,
+//! on the road network and the Graph500 RMAT graph.
+//!
+//! Paper shape to check: LLP-Prim (1T) faster than Prim (21–27%); both
+//! roughly 3x faster than single-threaded Boruvka.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_bench::{run_algorithm, Algorithm, Scale, Workload};
+use llp_runtime::ThreadPool;
+
+fn fig2(c: &mut Criterion) {
+    let workloads = [
+        Workload::road(Scale::Small, 42),
+        Workload::rmat(Scale::Small, 42),
+    ];
+    let pool = ThreadPool::new(1);
+    let algos = [
+        Algorithm::Prim,
+        Algorithm::LlpPrimSeq,
+        Algorithm::Boruvka, // single-threaded pool, as in the paper's Fig. 2
+    ];
+
+    let mut group = c.benchmark_group("fig2_single_thread");
+    group.sample_size(10);
+    for w in &workloads {
+        for &algo in &algos {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), &w.name),
+                &w.graph,
+                |b, graph| b.iter(|| run_algorithm(algo, graph, 0, &pool)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 3 — thread sweep on the road network: LLP-Prim vs parallel
+//! Boruvka vs LLP-Boruvka at 1, 2, 4, 8 threads.
+//!
+//! Paper shape to check: LLP-Prim leads at low thread counts and plateaus
+//! around 8; the Boruvka family scales further and crosses over, with
+//! LLP-Boruvka at or below Boruvka's runtime throughout. (On machines with
+//! few physical cores the wall-clock sweep saturates early; the CSVs from
+//! `repro fig3` carry the machine-independent work metrics.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_bench::{run_algorithm, Algorithm, Scale, Workload};
+use llp_runtime::ThreadPool;
+
+fn fig3(c: &mut Criterion) {
+    let w = Workload::road(Scale::Small, 42);
+    let algos = [Algorithm::LlpPrim, Algorithm::Boruvka, Algorithm::LlpBoruvka];
+    let max_threads = llp_runtime::available_threads().clamp(4, 8);
+
+    let mut group = c.benchmark_group("fig3_thread_sweep");
+    group.sample_size(10);
+    let mut threads = 1;
+    while threads <= max_threads {
+        let pool = ThreadPool::new(threads);
+        for &algo in &algos {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), format!("{threads}T")),
+                &w.graph,
+                |b, graph| b.iter(|| run_algorithm(algo, graph, 0, &pool)),
+            );
+        }
+        threads *= 2;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

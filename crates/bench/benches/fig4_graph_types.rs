@@ -1,0 +1,41 @@
+//! Fig. 4 — the parallel algorithms at a low and a high thread count on
+//! both graph morphologies (road vs scale-free).
+//!
+//! Paper shape to check: LLP-Prim relatively stronger on the denser
+//! scale-free graph and at the low thread count; the Boruvka family
+//! stronger at the high thread count with LLP-Boruvka modestly ahead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_bench::{run_algorithm, Algorithm, Scale, Workload};
+use llp_runtime::ThreadPool;
+
+fn fig4(c: &mut Criterion) {
+    let workloads = [
+        Workload::road(Scale::Small, 42),
+        Workload::rmat(Scale::Small, 42),
+    ];
+    let algos = [Algorithm::LlpPrim, Algorithm::Boruvka, Algorithm::LlpBoruvka];
+    let high = llp_runtime::available_threads().clamp(4, 8);
+
+    let mut group = c.benchmark_group("fig4_graph_types");
+    group.sample_size(10);
+    for w in &workloads {
+        for threads in [2usize, high] {
+            let pool = ThreadPool::new(threads);
+            for &algo in &algos {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}/{}T", algo.label(), threads),
+                        &w.name,
+                    ),
+                    &w.graph,
+                    |b, graph| b.iter(|| run_algorithm(algo, graph, 0, &pool)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

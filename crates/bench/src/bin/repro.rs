@@ -1,0 +1,400 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <table1|fig2|fig3|fig4|ablation|sizes|all> [options]
+//!
+//! options:
+//!   --scale small|medium|large   workload size preset (default: medium)
+//!   --reps N                     timed repetitions per config (default: 3)
+//!   --max-threads N              top of the thread sweep (default: 8)
+//!   --seed N                     generator seed (default: 42)
+//!   --out DIR                    CSV output directory (default: results)
+//!   --dimacs FILE.gr             use a real DIMACS road graph for the
+//!                                road workload (e.g. USA-road-d.USA.gr)
+//! ```
+//!
+//! Output: paper-style text tables on stdout plus one CSV per artifact in
+//! the output directory.
+
+use llp_bench::harness::{format_table, time_algorithm, write_csv, Sample};
+use llp_bench::{Algorithm, Scale, Workload};
+use std::path::PathBuf;
+
+struct Options {
+    scale: Scale,
+    reps: usize,
+    max_threads: usize,
+    seed: u64,
+    out: PathBuf,
+    dimacs: Option<PathBuf>,
+}
+
+impl Options {
+    fn road_workload(&self) -> Workload {
+        if let Some(path) = &self.dimacs {
+            let file = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            Workload::from_dimacs(
+                &path.file_stem().unwrap().to_string_lossy(),
+                std::io::BufReader::new(file),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot parse {}: {e}", path.display());
+                std::process::exit(2);
+            })
+        } else {
+            Workload::road(self.scale, self.seed)
+        }
+    }
+
+    fn thread_sweep(&self) -> Vec<usize> {
+        let mut t = 1;
+        let mut sweep = Vec::new();
+        while t <= self.max_threads {
+            sweep.push(t);
+            t *= 2;
+        }
+        sweep
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: repro <table1|fig2|fig3|fig4|ablation|sizes|all> [options]");
+        std::process::exit(2);
+    };
+
+    let mut opts = Options {
+        scale: Scale::Medium,
+        reps: 3,
+        max_threads: 8,
+        seed: 42,
+        out: PathBuf::from("results"),
+        dimacs: None,
+    };
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => {
+                let v = value("--scale");
+                opts.scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--reps" => opts.reps = value("--reps").parse().expect("--reps N"),
+            "--max-threads" => {
+                opts.max_threads = value("--max-threads").parse().expect("--max-threads N")
+            }
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed N"),
+            "--out" => opts.out = PathBuf::from(value("--out")),
+            "--dimacs" => opts.dimacs = Some(PathBuf::from(value("--dimacs"))),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match command.as_str() {
+        "table1" => table1(&opts),
+        "fig2" => fig2(&opts),
+        "fig3" => fig3(&opts),
+        "fig4" => fig4(&opts),
+        "ablation" => ablation(&opts),
+        "sizes" => sizes(&opts),
+        "all" => {
+            table1(&opts);
+            fig2(&opts);
+            fig3(&opts);
+            fig4(&opts);
+            ablation(&opts);
+            sizes(&opts);
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Table I: dataset summary.
+fn table1(opts: &Options) {
+    let workloads = [opts.road_workload(), Workload::rmat(opts.scale, opts.seed)];
+    let rows: Vec<Vec<String>> = workloads
+        .iter()
+        .map(|w| {
+            let s = llp_graph::algo::degree_stats(&w.graph);
+            vec![
+                w.name.clone(),
+                w.kind.to_string(),
+                s.n.to_string(),
+                s.m.to_string(),
+                format!("{:.2}", s.avg),
+                s.max.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Table I: graphs used in experimental evaluation",
+            &["Name used", "Type", "Vertices", "Edges", "AvgDeg", "MaxDeg"],
+            &rows,
+        )
+    );
+}
+
+/// Fig. 2: single-threaded Prim vs LLP-Prim (1T) vs Boruvka, road + rmat.
+fn fig2(opts: &Options) {
+    let workloads = [opts.road_workload(), Workload::rmat(opts.scale, opts.seed)];
+    let algos = [
+        Algorithm::Prim,
+        Algorithm::LlpPrimSeq,
+        Algorithm::Boruvka, // parallel Boruvka run with 1 thread, as in the paper
+    ];
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let mut per_workload: Vec<&Sample> = Vec::new();
+        for &algo in &algos {
+            samples.push(time_algorithm(algo, w, 1, opts.reps));
+        }
+        let base = samples.len() - algos.len();
+        for s in &samples[base..] {
+            per_workload.push(s);
+        }
+        let prim_ms = per_workload[0].median_ms;
+        for s in per_workload {
+            rows.push(vec![
+                s.workload.clone(),
+                s.algo.label().to_string(),
+                format!("{:.2}", s.median_ms),
+                format!("{:.2}x", prim_ms / s.median_ms),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            "Fig. 2: single-threaded runtimes (speedup relative to Prim)",
+            &["Workload", "Algorithm", "Median ms", "vs Prim"],
+            &rows,
+        )
+    );
+    let _ = write_csv(&opts.out.join("fig2.csv"), &samples);
+    println!(
+        "paper shape: LLP-Prim(1T) ≈ 1.21–1.27x faster than Prim; both ≈ 3x faster than Boruvka\n"
+    );
+}
+
+/// Fig. 3: thread sweep on the road network.
+fn fig3(opts: &Options) {
+    let w = opts.road_workload();
+    let algos = [Algorithm::LlpPrim, Algorithm::Boruvka, Algorithm::LlpBoruvka];
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut rows = Vec::new();
+    for threads in opts.thread_sweep() {
+        for &algo in &algos {
+            let s = time_algorithm(algo, &w, threads, opts.reps);
+            rows.push(vec![
+                threads.to_string(),
+                s.algo.label().to_string(),
+                format!("{:.2}", s.median_ms),
+                s.stats.rounds.to_string(),
+                s.stats.parallel_regions.to_string(),
+                s.stats.atomic_rmw.to_string(),
+            ]);
+            samples.push(s);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &format!("Fig. 3: thread sweep on {}", w.name),
+            &[
+                "Threads",
+                "Algorithm",
+                "Median ms",
+                "Rounds",
+                "Barriers",
+                "AtomicRMW",
+            ],
+            &rows,
+        )
+    );
+    let _ = write_csv(&opts.out.join("fig3.csv"), &samples);
+    println!(
+        "paper shape: LLP-Prim fastest at 1–4 threads, plateaus ~8; Boruvka-family scales,\n\
+         crosses over ~8 threads; LLP-Boruvka ≤ Boruvka runtime throughout.\n\
+         NOTE: wall-clock scaling requires physical cores; see work metrics in the CSV\n\
+         (atomic_rmw, parallel_regions) for the machine-independent shape.\n"
+    );
+}
+
+/// Fig. 4: low vs high core counts across graph types.
+fn fig4(opts: &Options) {
+    let workloads = [opts.road_workload(), Workload::rmat(opts.scale, opts.seed)];
+    let algos = [Algorithm::LlpPrim, Algorithm::Boruvka, Algorithm::LlpBoruvka];
+    let low = 2usize;
+    let high = opts.max_threads.max(4);
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut rows = Vec::new();
+    for w in &workloads {
+        for &threads in &[low, high] {
+            for &algo in &algos {
+                let s = time_algorithm(algo, w, threads, opts.reps);
+                rows.push(vec![
+                    w.name.clone(),
+                    format!("{threads}"),
+                    s.algo.label().to_string(),
+                    format!("{:.2}", s.median_ms),
+                ]);
+                samples.push(s);
+            }
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            "Fig. 4: parallel algorithms at low/high core counts, different graphs",
+            &["Workload", "Threads", "Algorithm", "Median ms"],
+            &rows,
+        )
+    );
+    let _ = write_csv(&opts.out.join("fig4.csv"), &samples);
+    println!(
+        "paper shape: LLP-Prim best at low core counts (more so on denser graphs);\n\
+         Boruvka-family best at high core counts with LLP-Boruvka modestly ahead.\n"
+    );
+}
+
+/// Ablation: the §V mechanisms, as machine-independent work metrics.
+fn ablation(opts: &Options) {
+    let workloads = [opts.road_workload(), Workload::rmat(opts.scale, opts.seed)];
+    let mut rows = Vec::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for w in &workloads {
+        // Heap traffic: Prim vs LLP-Prim (the early-fixing claim).
+        let prim = time_algorithm(Algorithm::Prim, w, 1, 1);
+        let llp = time_algorithm(Algorithm::LlpPrimSeq, w, 1, 1);
+        let n = w.graph.num_vertices() as f64;
+        rows.push(vec![
+            w.name.clone(),
+            "heap ops".into(),
+            prim.stats.heap_ops().to_string(),
+            llp.stats.heap_ops().to_string(),
+            format!(
+                "{:.1}% saved",
+                100.0 * (1.0 - llp.stats.heap_ops() as f64 / prim.stats.heap_ops() as f64)
+            ),
+        ]);
+        rows.push(vec![
+            w.name.clone(),
+            "early-fixed vertices".into(),
+            "0".into(),
+            llp.stats.early_fixes.to_string(),
+            format!("{:.1}% of n", 100.0 * llp.stats.early_fixes as f64 / n),
+        ]);
+        // Synchronization: parallel Boruvka vs LLP-Boruvka.
+        let bor = time_algorithm(Algorithm::Boruvka, w, 2, 1);
+        let llb = time_algorithm(Algorithm::LlpBoruvka, w, 2, 1);
+        rows.push(vec![
+            w.name.clone(),
+            "atomic RMW ops".into(),
+            bor.stats.atomic_rmw.to_string(),
+            llb.stats.atomic_rmw.to_string(),
+            format!(
+                "{:.1}% saved",
+                100.0 * (1.0 - llb.stats.atomic_rmw as f64 / bor.stats.atomic_rmw.max(1) as f64)
+            ),
+        ]);
+        rows.push(vec![
+            w.name.clone(),
+            "CAS retries".into(),
+            bor.stats.cas_retries.to_string(),
+            llb.stats.cas_retries.to_string(),
+            String::new(),
+        ]);
+        rows.push(vec![
+            w.name.clone(),
+            "Boruvka rounds".into(),
+            bor.stats.rounds.to_string(),
+            llb.stats.rounds.to_string(),
+            String::new(),
+        ]);
+        // Hybrid extension: a couple of contraction rounds then Prim.
+        let hyb = time_algorithm(Algorithm::Hybrid, w, 2, 1);
+        rows.push(vec![
+            w.name.clone(),
+            "hybrid heap ops".into(),
+            prim.stats.heap_ops().to_string(),
+            hyb.stats.heap_ops().to_string(),
+            format!(
+                "{:.1}% saved",
+                100.0 * (1.0 - hyb.stats.heap_ops() as f64 / prim.stats.heap_ops().max(1) as f64)
+            ),
+        ]);
+        samples.extend([prim, llp, bor, llb, hyb]);
+    }
+    println!(
+        "{}",
+        format_table(
+            "Ablation: LLP mechanisms (baseline vs LLP, machine-independent)",
+            &["Workload", "Metric", "Baseline", "LLP", "Delta"],
+            &rows,
+        )
+    );
+    let _ = write_csv(&opts.out.join("ablation.csv"), &samples);
+}
+
+/// §VII.C closing remark ("graphs of different sizes and the same
+/// morphology ... results were analogous"): a size sweep over the road
+/// morphology checking that the Fig. 2 ordering is size-stable.
+fn sizes(opts: &Options) {
+    let mut rows = Vec::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for scale in [Scale::Small, Scale::Medium, Scale::Large] {
+        if matches!(scale, Scale::Large) && !matches!(opts.scale, Scale::Large) {
+            continue; // only pay for the 1M-vertex graph when asked
+        }
+        let w = Workload::road(scale, opts.seed);
+        let prim = time_algorithm(Algorithm::Prim, &w, 1, opts.reps);
+        let llp = time_algorithm(Algorithm::LlpPrimSeq, &w, 1, opts.reps);
+        let llb = time_algorithm(Algorithm::LlpBoruvka, &w, 1, opts.reps);
+        rows.push(vec![
+            w.name.clone(),
+            format!("{}", w.graph.num_vertices()),
+            format!("{:.2}", prim.median_ms),
+            format!("{:.2}", llp.median_ms),
+            format!("{:.2}", llb.median_ms),
+            format!("{:.2}x", prim.median_ms / llp.median_ms),
+        ]);
+        samples.extend([prim, llp, llb]);
+    }
+    println!(
+        "{}",
+        format_table(
+            "Size sweep (road morphology): Fig. 2 ordering is size-stable",
+            &[
+                "Workload",
+                "Vertices",
+                "Prim ms",
+                "LLP-Prim(1T) ms",
+                "LLP-Boruvka ms",
+                "LLP speedup",
+            ],
+            &rows,
+        )
+    );
+    let _ = write_csv(&opts.out.join("sizes.csv"), &samples);
+}

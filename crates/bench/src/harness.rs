@@ -1,0 +1,176 @@
+//! Timing, aggregation and table/CSV output.
+
+use crate::algorithms::{run_algorithm_with_mwe, Algorithm};
+use crate::workloads::Workload;
+use llp_mst::AlgoStats;
+use llp_runtime::ThreadPool;
+use std::io::Write;
+use std::time::Instant;
+
+/// One timed configuration.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Algorithm run.
+    pub algo: Algorithm,
+    /// Workload name.
+    pub workload: String,
+    /// Threads in the pool.
+    pub threads: usize,
+    /// Median wall-clock milliseconds over the repetitions.
+    pub median_ms: f64,
+    /// Minimum observed milliseconds.
+    pub min_ms: f64,
+    /// Work metrics of the last run.
+    pub stats: AlgoStats,
+    /// Total weight (sanity echo; all algorithms must agree).
+    pub total_weight: f64,
+}
+
+/// Convenience alias used by the repro binary.
+pub type Measurement = Sample;
+
+/// Times `algo` on a workload with a dedicated pool of `threads`,
+/// returning the median of `reps` runs (first run warms caches and is
+/// discarded when `reps > 1`). The workload's precomputed MWE table is
+/// passed through, so LLP-Prim timings exclude graph-load work, as in the
+/// paper.
+pub fn time_algorithm(algo: Algorithm, w: &Workload, threads: usize, reps: usize) -> Sample {
+    let pool = ThreadPool::new(threads);
+    let mut times_ms: Vec<f64> = Vec::with_capacity(reps);
+    let mut last = None;
+    let total = if reps > 1 { reps + 1 } else { reps };
+    for i in 0..total {
+        let t0 = Instant::now();
+        let result = run_algorithm_with_mwe(algo, &w.graph, w.root(), &pool, Some(&w.mwe));
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        if !(reps > 1 && i == 0) {
+            times_ms.push(dt);
+        }
+        last = Some(result);
+    }
+    times_ms.sort_by(f64::total_cmp);
+    let last = last.expect("at least one run");
+    Sample {
+        algo,
+        workload: w.name.clone(),
+        threads,
+        median_ms: times_ms[times_ms.len() / 2],
+        min_ms: times_ms[0],
+        stats: last.stats,
+        total_weight: last.total_weight,
+    }
+}
+
+/// Renders samples as an aligned text table.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes samples as CSV to `path` (creating parent directories).
+pub fn write_csv(path: &std::path::Path, samples: &[Sample]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        f,
+        "algorithm,workload,threads,median_ms,min_ms,total_weight,heap_pushes,heap_pops,\
+         decrease_keys,edges_scanned,early_fixes,heap_fixes,rounds,pointer_jumps,\
+         cas_retries,atomic_rmw,parallel_regions"
+    )?;
+    for s in samples {
+        writeln!(
+            f,
+            "{},{},{},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{}",
+            s.algo.label(),
+            s.workload,
+            s.threads,
+            s.median_ms,
+            s.min_ms,
+            s.total_weight,
+            s.stats.heap_pushes,
+            s.stats.heap_pops,
+            s.stats.decrease_keys,
+            s.stats.edges_scanned,
+            s.stats.early_fixes,
+            s.stats.heap_fixes,
+            s.stats.rounds,
+            s.stats.pointer_jumps,
+            s.stats.cas_retries,
+            s.stats.atomic_rmw,
+            s.stats.parallel_regions,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Scale;
+
+    #[test]
+    fn time_algorithm_produces_sane_sample() {
+        let w = Workload::road(Scale::Small, 1);
+        let s = time_algorithm(Algorithm::Kruskal, &w, 1, 2);
+        assert!(s.median_ms > 0.0);
+        assert!(s.min_ms <= s.median_ms);
+        assert!(s.total_weight > 0.0);
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            "demo",
+            &["algo", "ms"],
+            &[
+                vec!["Prim".into(), "1.5".into()],
+                vec!["LLP-Prim (1T)".into(), "1.2".into()],
+            ],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("LLP-Prim (1T)"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_round_trip_has_header_and_rows() {
+        let w = Workload::road(Scale::Small, 2);
+        let s = time_algorithm(Algorithm::Kruskal, &w, 1, 1);
+        let dir = std::env::temp_dir().join("llp-bench-test");
+        let path = dir.join("out.csv");
+        write_csv(&path, &[s]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("algorithm,workload"));
+        assert_eq!(text.lines().count(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,184 @@
+//! Benchmark workloads mirroring the paper's Table I at laptop scale.
+//!
+//! | Paper dataset | Type | Here |
+//! |---|---|---|
+//! | `USA-road-d.USA` (23.9M vertices) | road | [`Workload::road`] — grid road network, scale-parameterised |
+//! | `graph500-s25-ef16` (~17M used) | scalefree | [`Workload::rmat`] — Kronecker, scale-parameterised |
+//!
+//! A real DIMACS file can be substituted with [`Workload::from_dimacs`],
+//! so dropping the authentic `USA-road-d.USA.gr` next to the harness
+//! reproduces on the paper's exact dataset.
+
+use llp_graph::generators::{rmat, road_network, RmatParams, RoadParams};
+use llp_graph::io::read_dimacs;
+use llp_graph::{CsrGraph, EdgeKey, VertexId};
+use std::io::BufRead;
+
+/// Workload family, matching Table I's "Type" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Sparse, large-diameter, locally-weighted (USA-road morphology).
+    Road,
+    /// Scale-free Kronecker (Graph500 morphology).
+    ScaleFree,
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadKind::Road => write!(f, "road"),
+            WorkloadKind::ScaleFree => write!(f, "scalefree"),
+        }
+    }
+}
+
+/// Benchmark size presets. The paper's graphs are ~20M vertices; presets
+/// scale the same morphologies down to what a laptop-class machine builds
+/// and solves in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~10k vertices: smoke tests, criterion benches.
+    Small,
+    /// ~120k vertices: default for `repro`.
+    Medium,
+    /// ~1M vertices: closest to paper conditions that 1 machine-hour allows.
+    Large,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `large`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+}
+
+/// A named benchmark graph.
+pub struct Workload {
+    /// Display name (Table I "Name used" analogue).
+    pub name: String,
+    /// Morphology family.
+    pub kind: WorkloadKind,
+    /// The graph.
+    pub graph: CsrGraph,
+    /// Per-vertex minimum-weight edges, computed at load time as the paper
+    /// prescribes ("the set MWE can be computed when the graph is input");
+    /// passed to the LLP-Prim family so benchmark timings exclude it.
+    pub mwe: Vec<EdgeKey>,
+}
+
+fn mwe_table(graph: &CsrGraph) -> Vec<EdgeKey> {
+    (0..graph.num_vertices() as VertexId)
+        .map(|v| graph.min_edge(v).unwrap_or_else(EdgeKey::infinite))
+        .collect()
+}
+
+impl Workload {
+    /// Road-network workload at the given scale.
+    pub fn road(scale: Scale, seed: u64) -> Workload {
+        let side = match scale {
+            Scale::Small => 105,
+            Scale::Medium => 350,
+            Scale::Large => 1000,
+        };
+        let graph = road_network(RoadParams::usa_like(side, side, seed));
+        Workload {
+            name: format!("Road {}k", graph.num_vertices() / 1000),
+            kind: WorkloadKind::Road,
+            mwe: mwe_table(&graph),
+            graph,
+        }
+    }
+
+    /// Graph500-style RMAT workload at the given scale (edge factor 16,
+    /// like the paper's `graph500-s25-ef16`).
+    pub fn rmat(scale: Scale, seed: u64) -> Workload {
+        let s = match scale {
+            Scale::Small => 13,
+            Scale::Medium => 17,
+            Scale::Large => 20,
+        };
+        // Like the paper's "Graph500 18M" (the used subset of the scale-25
+        // graph): benchmark on the giant connected component so the
+        // Prim-family algorithms apply.
+        let graph = llp_graph::algo::largest_component(&rmat(RmatParams::graph500(s, 16, seed)));
+        Workload {
+            name: format!("Graph500 s{s} ef16"),
+            kind: WorkloadKind::ScaleFree,
+            mwe: mwe_table(&graph),
+            graph,
+        }
+    }
+
+    /// The paper's two-dataset suite (Table I) at the given scale.
+    pub fn table1(scale: Scale, seed: u64) -> Vec<Workload> {
+        vec![Workload::road(scale, seed), Workload::rmat(scale, seed)]
+    }
+
+    /// Loads a real DIMACS `.gr` dataset (e.g. `USA-road-d.USA.gr`).
+    pub fn from_dimacs<R: BufRead>(name: &str, reader: R) -> Result<Workload, String> {
+        let graph = read_dimacs(reader).map_err(|e| e.to_string())?;
+        Ok(Workload {
+            name: name.to_string(),
+            kind: WorkloadKind::Road,
+            mwe: mwe_table(&graph),
+            graph,
+        })
+    }
+
+    /// The largest connected component's representative root (vertex 0 is
+    /// always on the road skeleton; for RMAT it is almost always in the
+    /// giant component, and the Prim-family runners check anyway).
+    pub fn root(&self) -> u32 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_road_is_connected_and_sparse() {
+        let w = Workload::road(Scale::Small, 1);
+        assert_eq!(w.kind, WorkloadKind::Road);
+        assert!(llp_graph::algo::is_connected(&w.graph));
+        assert!(w.graph.average_degree() < 4.0);
+    }
+
+    #[test]
+    fn small_rmat_is_scalefree_sized_and_connected() {
+        let w = Workload::rmat(Scale::Small, 1);
+        // giant component of the scale-13 graph: most vertices survive
+        assert!(w.graph.num_vertices() > (1 << 12));
+        assert!(w.graph.num_vertices() <= (1 << 13));
+        assert!(w.graph.num_edges() > 4 * (1 << 12));
+        assert!(llp_graph::algo::is_connected(&w.graph));
+    }
+
+    #[test]
+    fn table1_has_both_kinds() {
+        let suite = Workload::table1(Scale::Small, 2);
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].kind, WorkloadKind::Road);
+        assert_eq!(suite[1].kind, WorkloadKind::ScaleFree);
+    }
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn dimacs_loader_works() {
+        let src = "p sp 3 2\na 1 2 5\na 2 3 7\n";
+        let w = Workload::from_dimacs("test", std::io::BufReader::new(src.as_bytes())).unwrap();
+        assert_eq!(w.graph.num_vertices(), 3);
+    }
+}

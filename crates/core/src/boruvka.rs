@@ -1,0 +1,142 @@
+//! Sequential Boruvka (the paper's Algorithm 3, verbatim structure).
+//!
+//! Each round: label the components of `(V, T)` by BFS from the least
+//! unvisited vertex, find every component's minimum-weight outgoing edge by
+//! a full edge scan, add those edges to `T`. Terminates when no component
+//! has an outgoing edge, which handles forests (MSF) as well as trees.
+
+use crate::result::MstResult;
+use crate::stats::AlgoStats;
+use llp_graph::{CsrGraph, Edge, EdgeKey, VertexId, NO_VERTEX};
+use std::collections::VecDeque;
+
+/// Sequential Boruvka; computes the canonical MSF.
+pub fn boruvka_seq(graph: &CsrGraph) -> MstResult {
+    let n = graph.num_vertices();
+    let mut stats = AlgoStats::default();
+    let mut tree: Vec<Edge> = Vec::with_capacity(n.saturating_sub(1));
+    // Adjacency of the chosen forest (V, T), rebuilt incrementally.
+    let mut forest_adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut cid: Vec<VertexId> = vec![NO_VERTEX; n];
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+
+    loop {
+        stats.rounds += 1;
+
+        // Component labelling: BFS in (V, T) from every unvisited vertex in
+        // increasing id order; labels are the least vertex id per component.
+        cid.iter_mut().for_each(|c| *c = NO_VERTEX);
+        for start in 0..n as VertexId {
+            if cid[start as usize] != NO_VERTEX {
+                continue;
+            }
+            cid[start as usize] = start;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &v in &forest_adj[u as usize] {
+                    if cid[v as usize] == NO_VERTEX {
+                        cid[v as usize] = start;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+
+        // Minimum-weight outgoing edge per component.
+        let mut mwe: Vec<Option<(EdgeKey, Edge)>> = vec![None; n];
+        for e in graph.edges() {
+            stats.edges_scanned += 1;
+            let cu = cid[e.u as usize];
+            let cv = cid[e.v as usize];
+            if cu == cv {
+                continue;
+            }
+            let key = e.key();
+            for c in [cu, cv] {
+                match &mwe[c as usize] {
+                    Some((best, _)) if *best <= key => {}
+                    _ => mwe[c as usize] = Some((key, e)),
+                }
+            }
+        }
+
+        // Add the chosen edges (an edge can be the MWE of both of its
+        // components; dedup within the round by canonical key).
+        let mut chosen: Vec<(EdgeKey, Edge)> = mwe.iter().flatten().copied().collect();
+        chosen.sort_unstable_by_key(|(k, _)| *k);
+        chosen.dedup_by_key(|(k, _)| *k);
+        if chosen.is_empty() {
+            break; // every component is finished: MSF complete
+        }
+        for (_, e) in chosen {
+            forest_adj[e.u as usize].push(e.v);
+            forest_adj[e.v as usize].push(e.u);
+            tree.push(e);
+        }
+    }
+
+    MstResult::from_edges(n, tree, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::kruskal;
+    use llp_graph::samples::{fig1, small_forest, FIG1_MST_WEIGHT, SMALL_FOREST_MSF_WEIGHT};
+
+    #[test]
+    fn fig1_trace_matches_paper() {
+        let mst = boruvka_seq(&fig1());
+        assert_eq!(mst.total_weight, FIG1_MST_WEIGHT);
+        // Paper: round 1 adds {4, 3, 2}, round 2 adds {7}; two effective
+        // rounds plus the terminating scan.
+        assert_eq!(mst.stats.rounds, 3);
+        let mut ws: Vec<f64> = mst.edges.iter().map(|e| e.w).collect();
+        ws.sort_by(f64::total_cmp);
+        assert_eq!(ws, vec![2.0, 3.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn forest_support() {
+        let msf = boruvka_seq(&small_forest());
+        assert_eq!(msf.total_weight, SMALL_FOREST_MSF_WEIGHT);
+        assert_eq!(msf.num_trees, 3);
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in 0..6 {
+            let g = llp_graph::generators::erdos_renyi(150, 400, seed);
+            assert_eq!(
+                boruvka_seq(&g).canonical_keys(),
+                kruskal(&g).canonical_keys(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_on_paths() {
+        let g = llp_graph::generators::path(1024, 3);
+        let mst = boruvka_seq(&g);
+        assert_eq!(mst.edges.len(), 1023);
+        // Components at least halve per round: <= log2(1024) + final scan.
+        assert!(mst.stats.rounds <= 11, "rounds = {}", mst.stats.rounds);
+    }
+
+    #[test]
+    fn empty_graph_terminates() {
+        let r = boruvka_seq(&CsrGraph::empty(4));
+        assert!(r.edges.is_empty());
+        assert_eq!(r.num_trees, 4);
+        assert_eq!(r.stats.rounds, 1);
+    }
+
+    #[test]
+    fn star_finishes_in_one_effective_round() {
+        let g = llp_graph::generators::star(32, 5);
+        let mst = boruvka_seq(&g);
+        assert_eq!(mst.edges.len(), 31);
+        assert!(mst.stats.rounds <= 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! Shared Boruvka contraction machinery (one LLP round of Algorithm 6).
+//!
+//! Used by [`crate::llp_boruvka`] (which runs rounds to exhaustion) and by
+//! [`crate::hybrid`] (which runs a few rounds and finishes with Prim on the
+//! contracted graph, a classic practical variant the paper's future-work
+//! section gestures at).
+
+use crate::stats::AlgoStats;
+use llp_graph::{CsrGraph, Edge, EdgeKey};
+use llp_runtime::atomics::{AtomicIndexMin, NO_INDEX};
+use llp_runtime::{parallel_for, parallel_map_collect, Counter, ParallelForConfig, ThreadPool};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// A contracted edge: endpoints in the current (renumbered) vertex space
+/// plus the index of the original edge it stands for.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WorkEdge {
+    pub u: u32,
+    pub v: u32,
+    pub orig: u32,
+}
+
+/// Mutable contraction state threaded through rounds.
+pub(crate) struct Contraction {
+    /// Original edges (immutable identities for the final forest).
+    pub orig_edges: Vec<Edge>,
+    /// Canonical keys of the original edges.
+    pub keys: Vec<EdgeKey>,
+    /// Live contracted edges.
+    pub work: Vec<WorkEdge>,
+    /// Vertices in the current contracted space.
+    pub n_cur: usize,
+    /// Original-edge indices chosen into the forest so far.
+    pub chosen: Vec<u32>,
+    /// Pointer-jump assignment counter.
+    pub jumps: Counter,
+    /// Atomic RMW counter (MWE priority writes).
+    pub rmw: Counter,
+}
+
+impl Contraction {
+    /// Initial state over a graph.
+    pub fn new(graph: &CsrGraph) -> Self {
+        Self::from_edge_list(graph.num_vertices(), graph.edges().collect())
+    }
+
+    /// Initial state over a raw undirected edge list (no CSR required —
+    /// the Boruvka family is edge-centric). Self-loops are skipped;
+    /// parallel edges are harmless (only the lighter can ever be an MWE).
+    pub fn from_edge_list(n: usize, orig_edges: Vec<Edge>) -> Self {
+        let keys: Vec<EdgeKey> = orig_edges.iter().map(Edge::key).collect();
+        let work: Vec<WorkEdge> = orig_edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.is_self_loop())
+            .map(|(i, e)| WorkEdge {
+                u: e.u,
+                v: e.v,
+                orig: i as u32,
+            })
+            .collect();
+        Contraction {
+            orig_edges,
+            keys,
+            work,
+            n_cur: n,
+            chosen: Vec::with_capacity(n.saturating_sub(1)),
+            jumps: Counter::new(),
+            rmw: Counter::new(),
+        }
+    }
+
+    /// True when no cross-component edges remain.
+    pub fn is_done(&self) -> bool {
+        self.work.is_empty()
+    }
+
+    /// Runs one full LLP-Boruvka round: per-vertex MWE selection with
+    /// symmetry breaking, relaxed pointer jumping to stars, contraction.
+    /// Updates `stats` round/region/scan counters.
+    pub fn round(&mut self, pool: &ThreadPool, cfg: ParallelForConfig, stats: &mut AlgoStats) {
+        debug_assert!(!self.is_done());
+        stats.rounds += 1;
+        stats.parallel_regions += 4;
+        stats.edges_scanned += self.work.len() as u64;
+        let n_cur = self.n_cur;
+
+        // Step 1a: per-vertex minimum weight edge (index into `work`).
+        let best: Vec<AtomicIndexMin> = (0..n_cur).map(|_| AtomicIndexMin::new()).collect();
+        {
+            let work_ref = &self.work;
+            let keys_ref = &self.keys;
+            let best_ref = &best;
+            let rmw_ref = &self.rmw;
+            parallel_for(pool, 0..self.work.len(), cfg, |i| {
+                let e = work_ref[i];
+                let key_of = |wi: u64| keys_ref[work_ref[wi as usize].orig as usize];
+                best_ref[e.u as usize].propose_min_by(i as u64, key_of);
+                best_ref[e.v as usize].propose_min_by(i as u64, key_of);
+                rmw_ref.add(2);
+            });
+        }
+
+        // Step 1b: choose parents with symmetry breaking; G becomes a
+        // rooted forest. Vertices with no incident edge root themselves.
+        let g: Vec<AtomicU32> = {
+            let work_ref = &self.work;
+            let best_ref = &best;
+            parallel_map_collect(pool, 0..n_cur, cfg, |v| {
+                let bi = best_ref[v].load(Ordering::Relaxed);
+                if bi == NO_INDEX {
+                    return v as u32; // isolated in the contracted graph
+                }
+                let e = work_ref[bi as usize];
+                let w = if e.u == v as u32 { e.v } else { e.u };
+                let mutual = best_ref[w as usize].load(Ordering::Relaxed) == bi;
+                if mutual && (v as u32) < w {
+                    v as u32 // break symmetry: the smaller endpoint roots
+                } else {
+                    w
+                }
+            })
+            .into_iter()
+            .map(AtomicU32::new)
+            .collect()
+        };
+
+        // Step 1c: every non-root's MWE joins the forest (each chosen edge
+        // exactly once: mutual pairs add from the non-root side only;
+        // otherwise MWEs of distinct vertices are distinct edges).
+        {
+            let bag: llp_runtime::Bag<u32> = llp_runtime::Bag::new(pool.threads());
+            let work_ref = &self.work;
+            let best_ref = &best;
+            let g_ref = &g;
+            let bag_ref = &bag;
+            llp_runtime::parallel_for_chunks_ctx(pool, 0..n_cur, cfg, |ctx, chunk| {
+                for v in chunk {
+                    if g_ref[v].load(Ordering::Relaxed) != v as u32 {
+                        let bi = best_ref[v].load(Ordering::Relaxed);
+                        bag_ref.push(ctx.tid, work_ref[bi as usize].orig);
+                    }
+                }
+            });
+            let mut added = bag.drain_to_vec();
+            added.sort_unstable();
+            debug_assert!(added.windows(2).all(|w| w[0] != w[1]), "duplicate edge");
+            self.chosen.extend(added);
+        }
+
+        // Step 2: pointer jumping with relaxed atomics until G is a star
+        // forest (the inner LLP instance, Lemma 3/4).
+        loop {
+            stats.parallel_regions += 1;
+            let changed = AtomicBool::new(false);
+            {
+                let g_ref = &g;
+                let changed_ref = &changed;
+                let jumps_ref = &self.jumps;
+                parallel_for(pool, 0..n_cur, cfg, |j| {
+                    let p = g_ref[j].load(Ordering::Relaxed);
+                    let gp = g_ref[p as usize].load(Ordering::Relaxed);
+                    if p != gp {
+                        g_ref[j].store(gp, Ordering::Relaxed);
+                        jumps_ref.incr();
+                        changed_ref.store(true, Ordering::Relaxed);
+                    }
+                });
+            }
+            if !changed.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+
+        // Step 3: contract. Renumber roots densely, relabel and filter.
+        let root_of: Vec<u32> = g.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        let roots =
+            llp_runtime::scan::pack_indices(pool, n_cur, cfg, |v| root_of[v] == v as u32);
+        let mut new_id = vec![u32::MAX; n_cur];
+        for (dense, &root) in roots.iter().enumerate() {
+            new_id[root] = dense as u32;
+        }
+        let survivors = llp_runtime::scan::pack_indices(pool, self.work.len(), cfg, |i| {
+            let e = self.work[i];
+            root_of[e.u as usize] != root_of[e.v as usize]
+        });
+        self.work = survivors
+            .into_iter()
+            .map(|i| {
+                let e = self.work[i];
+                WorkEdge {
+                    u: new_id[root_of[e.u as usize] as usize],
+                    v: new_id[root_of[e.v as usize] as usize],
+                    orig: e.orig,
+                }
+            })
+            .collect();
+        self.n_cur = roots.len();
+    }
+
+    /// Materialises the chosen original edges.
+    pub fn chosen_edges(&self) -> Vec<Edge> {
+        self.chosen
+            .iter()
+            .map(|&i| self.orig_edges[i as usize])
+            .collect()
+    }
+
+    /// Flushes the atomic counters into `stats`.
+    pub fn finish_stats(&self, stats: &mut AlgoStats) {
+        stats.pointer_jumps = self.jumps.get();
+        stats.atomic_rmw = self.rmw.get();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llp_graph::samples::fig1;
+
+    #[test]
+    fn one_round_on_fig1_contracts_to_two_vertices() {
+        let g = fig1();
+        let pool = ThreadPool::new(2);
+        let mut c = Contraction::new(&g);
+        let mut stats = AlgoStats::default();
+        c.round(&pool, ParallelForConfig::with_grain(64), &mut stats);
+        // Paper trace: after round 1, components {a,b,c} and {d,e}.
+        assert_eq!(c.n_cur, 2);
+        assert_eq!(c.chosen.len(), 3); // edges {4, 3, 2}
+        assert!(!c.is_done());
+        c.round(&pool, ParallelForConfig::with_grain(64), &mut stats);
+        assert!(c.is_done());
+        assert_eq!(c.chosen.len(), 4);
+    }
+
+    #[test]
+    fn rounds_preserve_edge_identity() {
+        let g = llp_graph::generators::erdos_renyi(80, 300, 4);
+        let pool = ThreadPool::new(2);
+        let mut c = Contraction::new(&g);
+        let mut stats = AlgoStats::default();
+        while !c.is_done() {
+            c.round(&pool, ParallelForConfig::with_grain(64), &mut stats);
+        }
+        // Every chosen edge exists in the input graph.
+        for e in c.chosen_edges() {
+            assert!(g.neighbors(e.u).any(|(v, w)| v == e.v && w == e.w));
+        }
+    }
+}

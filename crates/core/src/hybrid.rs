@@ -1,0 +1,254 @@
+//! Boruvka–Prim hybrid.
+//!
+//! A classic practical MST recipe (and a natural extension of the paper's
+//! two algorithms): run a few LLP-Boruvka contraction rounds — which shrink
+//! the vertex count geometrically and parallelise well — then finish the
+//! contracted graph with the cache-friendly sequential LLP-Prim. The hybrid
+//! inherits Boruvka's parallel start and Prim's low constant factors on the
+//! small remainder.
+//!
+//! Canonicality is preserved: the Prim phase compares contracted edges by
+//! their **original** [`EdgeKey`]s, so the tree equals the one every other
+//! algorithm in this crate computes.
+
+use crate::contraction::Contraction;
+use crate::heap::LazyHeap;
+use crate::result::{MstError, MstResult};
+use crate::stats::AlgoStats;
+use llp_graph::{CsrGraph, EdgeKey};
+use llp_runtime::{ParallelForConfig, ThreadPool};
+
+/// Boruvka–Prim hybrid: `boruvka_rounds` LLP contraction rounds, then Prim
+/// on the contracted remainder. Requires a connected graph (like the Prim
+/// family); use [`crate::llp_boruvka`] for forests.
+pub fn hybrid_boruvka_prim(
+    graph: &CsrGraph,
+    pool: &ThreadPool,
+    boruvka_rounds: usize,
+) -> Result<MstResult, MstError> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Err(MstError::EmptyGraph);
+    }
+    let mut stats = AlgoStats::default();
+    let cfg = ParallelForConfig::with_grain(512);
+
+    // Phase 1: contraction rounds.
+    let mut c = Contraction::new(graph);
+    for _ in 0..boruvka_rounds {
+        if c.is_done() {
+            break;
+        }
+        c.round(pool, cfg, &mut stats);
+    }
+
+    // Phase 2: Prim over the contracted multigraph, comparing by original
+    // edge keys. Build a CSR-style adjacency of (target, work-edge index).
+    let n_cur = c.n_cur;
+    let mut offsets = vec![0usize; n_cur + 1];
+    for e in &c.work {
+        offsets[e.u as usize + 1] += 1;
+        offsets[e.v as usize + 1] += 1;
+    }
+    for i in 1..=n_cur {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor = offsets[..n_cur].to_vec();
+    let mut adj_target = vec![0u32; c.work.len() * 2];
+    let mut adj_widx = vec![0u32; c.work.len() * 2];
+    for (wi, e) in c.work.iter().enumerate() {
+        for (from, to) in [(e.u, e.v), (e.v, e.u)] {
+            let slot = cursor[from as usize];
+            adj_target[slot] = to;
+            adj_widx[slot] = wi as u32;
+            cursor[from as usize] += 1;
+        }
+    }
+    let key_of_widx = |wi: u32| c.keys[c.work[wi as usize].orig as usize];
+
+    if n_cur > 0 && !c.is_done() {
+        let mut dist: Vec<EdgeKey> = vec![EdgeKey::infinite(); n_cur];
+        let mut best_widx: Vec<u32> = vec![u32::MAX; n_cur];
+        let mut fixed = vec![false; n_cur];
+        let mut heap: LazyHeap<EdgeKey> = LazyHeap::new();
+        let mut reached = 1usize;
+        // Collected separately: `key_of_widx` holds an immutable borrow of
+        // the contraction state for the duration of the loop.
+        let mut prim_chosen: Vec<u32> = Vec::new();
+
+        let relax = |v: usize,
+                         fixed: &[bool],
+                         dist: &mut [EdgeKey],
+                         best_widx: &mut [u32],
+                         heap: &mut LazyHeap<EdgeKey>,
+                         stats: &mut AlgoStats| {
+            for slot in offsets[v]..offsets[v + 1] {
+                stats.edges_scanned += 1;
+                let to = adj_target[slot] as usize;
+                if fixed[to] {
+                    continue;
+                }
+                let key = key_of_widx(adj_widx[slot]);
+                if key < dist[to] {
+                    dist[to] = key;
+                    best_widx[to] = adj_widx[slot];
+                    heap.push(key, to as u32);
+                }
+            }
+        };
+
+        fixed[0] = true;
+        relax(0, &fixed, &mut dist, &mut best_widx, &mut heap, &mut stats);
+        while let Some((key, v)) = heap.pop() {
+            let v = v as usize;
+            if fixed[v] {
+                continue;
+            }
+            debug_assert_eq!(key, dist[v]);
+            fixed[v] = true;
+            reached += 1;
+            stats.heap_fixes += 1;
+            prim_chosen.push(c.work[best_widx[v] as usize].orig);
+            relax(v, &fixed, &mut dist, &mut best_widx, &mut heap, &mut stats);
+        }
+        stats.heap_pushes = heap.pushes;
+        stats.heap_pops = heap.pops;
+        c.chosen.extend(prim_chosen);
+        if reached < n_cur {
+            // Translate the contracted reach back to original-vertex terms.
+            let missing = n_cur - reached;
+            return Err(MstError::Disconnected {
+                reached: n - missing,
+                total: n,
+            });
+        }
+    } else if n_cur > 1 {
+        // Contraction exhausted all edges but multiple components remain.
+        return Err(MstError::Disconnected {
+            reached: n - (n_cur - 1),
+            total: n,
+        });
+    }
+
+    c.finish_stats(&mut stats);
+    let edges = c.chosen_edges();
+    if edges.len() + 1 != n.max(1) {
+        return Err(MstError::Disconnected {
+            reached: edges.len() + 1,
+            total: n,
+        });
+    }
+    Ok(MstResult::from_edges(n, edges, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::kruskal;
+    use llp_graph::samples::{fig1, FIG1_MST_WEIGHT};
+
+    #[test]
+    fn fig1_with_various_round_budgets() {
+        let g = fig1();
+        let pool = ThreadPool::new(2);
+        for rounds in 0..4 {
+            let mst = hybrid_boruvka_prim(&g, &pool, rounds).unwrap();
+            assert_eq!(mst.total_weight, FIG1_MST_WEIGHT, "rounds={rounds}");
+            assert_eq!(
+                mst.canonical_keys(),
+                kruskal(&g).canonical_keys(),
+                "rounds={rounds}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rounds_is_pure_prim() {
+        let g = llp_graph::generators::road_network(
+            llp_graph::generators::RoadParams::usa_like(15, 15, 3),
+        );
+        let pool = ThreadPool::new(2);
+        let mst = hybrid_boruvka_prim(&g, &pool, 0).unwrap();
+        assert_eq!(mst.stats.rounds, 0);
+        assert!(mst.stats.heap_fixes > 0);
+        assert_eq!(mst.canonical_keys(), kruskal(&g).canonical_keys());
+    }
+
+    #[test]
+    fn many_rounds_is_pure_boruvka() {
+        let g = llp_graph::generators::road_network(
+            llp_graph::generators::RoadParams::usa_like(15, 15, 4),
+        );
+        let pool = ThreadPool::new(2);
+        let mst = hybrid_boruvka_prim(&g, &pool, 64).unwrap();
+        assert_eq!(mst.stats.heap_fixes, 0);
+        assert_eq!(mst.canonical_keys(), kruskal(&g).canonical_keys());
+    }
+
+    #[test]
+    fn matches_oracle_on_random_connected_graphs() {
+        let pool = ThreadPool::new(3);
+        for seed in 0..5 {
+            let g = llp_graph::generators::road_network(
+                llp_graph::generators::RoadParams::usa_like(14, 17, seed),
+            );
+            for rounds in [1, 2, 3] {
+                assert_eq!(
+                    hybrid_boruvka_prim(&g, &pool, rounds)
+                        .unwrap()
+                        .canonical_keys(),
+                    kruskal(&g).canonical_keys(),
+                    "seed {seed} rounds {rounds}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_weights_stay_canonical() {
+        let g = llp_graph::samples::all_equal_weights(9);
+        let pool = ThreadPool::new(2);
+        for rounds in [0, 1, 2] {
+            assert_eq!(
+                hybrid_boruvka_prim(&g, &pool, rounds)
+                    .unwrap()
+                    .canonical_keys(),
+                kruskal(&g).canonical_keys()
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = CsrGraph::from_edges(
+            4,
+            &[
+                llp_graph::Edge::new(0, 1, 1.0),
+                llp_graph::Edge::new(2, 3, 1.0),
+            ],
+        );
+        let pool = ThreadPool::new(2);
+        for rounds in [0, 1, 8] {
+            assert!(matches!(
+                hybrid_boruvka_prim(&g, &pool, rounds),
+                Err(MstError::Disconnected { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let pool = ThreadPool::new(1);
+        assert!(matches!(
+            hybrid_boruvka_prim(&CsrGraph::empty(0), &pool, 1),
+            Err(MstError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn singleton_graph_ok() {
+        let pool = ThreadPool::new(1);
+        let mst = hybrid_boruvka_prim(&CsrGraph::empty(1), &pool, 1).unwrap();
+        assert!(mst.edges.is_empty());
+    }
+}

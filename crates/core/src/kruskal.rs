@@ -1,0 +1,113 @@
+//! Kruskal's algorithm: sort by weight, grow a forest with union–find.
+//!
+//! Kruskal is the workspace's *reference oracle*: it is the simplest
+//! correct MSF algorithm, so every other algorithm's output is validated
+//! against it in tests and in `verify`. [`kruskal_par_sort`] offloads the
+//! dominant sorting cost to the parallel runtime (the paper notes Kruskal
+//! itself is hard to parallelise beyond the sort because of the serial heap
+//! / ordered scan).
+
+use crate::result::MstResult;
+use crate::stats::AlgoStats;
+use crate::union_find::UnionFind;
+use llp_graph::{CsrGraph, Edge};
+use llp_runtime::{sort::par_sort_by_key, ThreadPool};
+
+/// Sequential Kruskal. Computes the canonical MSF (works on disconnected
+/// graphs; the number of trees is `MstResult::num_trees`).
+pub fn kruskal(graph: &CsrGraph) -> MstResult {
+    let mut edges: Vec<Edge> = graph.edges().collect();
+    edges.sort_unstable_by_key(Edge::key);
+    scan(graph.num_vertices(), edges)
+}
+
+/// Kruskal with the sort done on the thread pool.
+pub fn kruskal_par_sort(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
+    let mut edges: Vec<Edge> = graph.edges().collect();
+    par_sort_by_key(pool, &mut edges, Edge::key);
+    let mut result = scan(graph.num_vertices(), edges);
+    result.stats.parallel_regions += 1;
+    result
+}
+
+fn scan(n: usize, sorted_edges: Vec<Edge>) -> MstResult {
+    let mut stats = AlgoStats::default();
+    let mut uf = UnionFind::new(n);
+    let mut chosen = Vec::with_capacity(n.saturating_sub(1));
+    for e in sorted_edges {
+        stats.edges_scanned += 1;
+        if uf.union(e.u, e.v) {
+            chosen.push(e);
+            if chosen.len() + 1 == n {
+                break; // spanning tree complete
+            }
+        }
+    }
+    MstResult::from_edges(n, chosen, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llp_graph::samples::{fig1, small_forest, FIG1_MST_WEIGHT, SMALL_FOREST_MSF_WEIGHT};
+
+    #[test]
+    fn fig1_mst() {
+        let mst = kruskal(&fig1());
+        assert_eq!(mst.total_weight, FIG1_MST_WEIGHT);
+        assert_eq!(mst.num_trees, 1);
+        assert_eq!(mst.edges.len(), 4);
+    }
+
+    #[test]
+    fn forest_handling() {
+        let msf = kruskal(&small_forest());
+        assert_eq!(msf.total_weight, SMALL_FOREST_MSF_WEIGHT);
+        assert_eq!(msf.num_trees, 3); // triangle, edge, isolated vertex
+    }
+
+    #[test]
+    fn par_sort_variant_matches() {
+        let g = llp_graph::generators::erdos_renyi(500, 3000, 11);
+        let pool = ThreadPool::new(4);
+        assert_eq!(
+            kruskal(&g).canonical_keys(),
+            kruskal_par_sort(&g, &pool).canonical_keys()
+        );
+    }
+
+    #[test]
+    fn agrees_with_prim_on_connected_graphs() {
+        for seed in 0..5 {
+            let g = llp_graph::generators::road_network(
+                llp_graph::generators::RoadParams::usa_like(12, 12, seed),
+            );
+            let k = kruskal(&g);
+            let p = crate::prim::prim_lazy(&g, 0).unwrap();
+            assert_eq!(k.canonical_keys(), p.canonical_keys(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(kruskal(&CsrGraph::empty(0)).edges.len(), 0);
+        let r = kruskal(&CsrGraph::empty(3));
+        assert_eq!(r.num_trees, 3);
+    }
+
+    #[test]
+    fn early_exit_skips_tail_edges() {
+        // A path plus many heavy extra edges: the scan stops after n-1 unions.
+        let mut b = llp_graph::GraphBuilder::new(50);
+        for i in 1..50u32 {
+            b.add_edge(i - 1, i, i as f64 * 0.001);
+        }
+        for i in 0..48u32 {
+            b.add_edge(i, i + 2, 1000.0 + i as f64);
+        }
+        let g = b.build();
+        let r = kruskal(&g);
+        assert_eq!(r.edges.len(), 49);
+        assert!(r.stats.edges_scanned < g.num_edges() as u64);
+    }
+}

@@ -1,0 +1,66 @@
+//! # llp-mst — minimum spanning trees via Lattice Linear Predicates
+//!
+//! The paper's contribution, implemented in full:
+//!
+//! | Algorithm | Function | Role in the paper |
+//! |---|---|---|
+//! | Prim (lazy heap) | [`prim::prim_lazy`] | baseline of Fig. 2 |
+//! | Prim (indexed heap) | [`prim::prim_indexed`] | Algorithm 2 verbatim |
+//! | Kruskal | [`kruskal::kruskal`] | §III baseline / test oracle |
+//! | Filter-Kruskal | [`filter_kruskal::filter_kruskal`] | practical Kruskal baseline |
+//! | Boruvka (BFS, sequential) | [`boruvka::boruvka_seq`] | Algorithm 3 |
+//! | Parallel Boruvka (GBBS-style) | [`parallel_boruvka::boruvka_par`] | baseline of Figs 3–4 |
+//! | **LLP-Prim** sequential | [`llp_prim::llp_prim_seq`] | Algorithm 5, "LLP-Prim (1T)" |
+//! | **LLP-Prim** parallel | [`llp_prim::llp_prim_par`] | Algorithm 5, Figs 3–4 |
+//! | **LLP-Boruvka** | [`llp_boruvka::llp_boruvka`] | Algorithm 6 |
+//! | LLP-Prim spec | [`spec::LlpPrimSpec`] | Algorithm 4 run literally |
+//!
+//! All algorithms compare edges through [`llp_graph::EdgeKey`] (weight,
+//! then endpoints), realising the paper's unique-weight assumption on any
+//! input; consequently **every algorithm returns the identical canonical
+//! MST/MSF**, which [`verify::verify_msf`] checks against the Kruskal
+//! oracle and the test suite asserts pairwise.
+//!
+//! Prim-family functions require a connected graph and return
+//! [`result::MstError::Disconnected`] otherwise; Boruvka-family functions
+//! compute minimum spanning forests.
+//!
+//! Every run returns [`stats::AlgoStats`] — heap traffic, early-fix
+//! counts, rounds, pointer jumps, CAS/atomic traffic — the
+//! machine-independent quantities behind the paper's Figs 2–4.
+
+pub mod boruvka;
+pub(crate) mod contraction;
+pub mod filter_kruskal;
+pub mod heap;
+pub mod hybrid;
+pub mod kruskal;
+pub mod llp_boruvka;
+pub mod llp_prim;
+pub mod parallel_boruvka;
+pub mod prim;
+pub mod result;
+pub mod spec;
+pub mod stats;
+pub mod tree;
+pub mod union_find;
+pub mod verify;
+
+pub use result::{MstError, MstResult};
+pub use stats::AlgoStats;
+
+/// One-stop imports for examples and downstream code.
+pub mod prelude {
+    pub use crate::boruvka::boruvka_seq;
+    pub use crate::filter_kruskal::filter_kruskal;
+    pub use crate::kruskal::{kruskal, kruskal_par_sort};
+    pub use crate::hybrid::hybrid_boruvka_prim;
+    pub use crate::llp_boruvka::{llp_boruvka, llp_boruvka_from_edges};
+    pub use crate::llp_prim::{llp_prim_par, llp_prim_par_with_mwe, llp_prim_seq, llp_prim_seq_with_mwe};
+    pub use crate::parallel_boruvka::boruvka_par;
+    pub use crate::prim::{prim_indexed, prim_lazy};
+    pub use crate::result::{MstError, MstResult};
+    pub use crate::stats::AlgoStats;
+    pub use crate::tree::RootedForest;
+    pub use crate::verify::{verify_cut_property, verify_cycle_property, verify_forest_structure, verify_msf};
+}

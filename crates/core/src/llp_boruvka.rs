@@ -1,0 +1,188 @@
+//! LLP-Boruvka (the paper's Algorithm 6).
+//!
+//! Recursive Boruvka where each round is structured to need "little to no
+//! synchronization between vertices":
+//!
+//! 1. **Per-vertex MWE + symmetry breaking** — every vertex `v` picks its
+//!    minimum-weight edge `mwe(v) = (v, w)` and sets `G[v] := w`, except
+//!    when the choice is mutual (`mwe(w) = (w, v)`) and `v < w`, in which
+//!    case `G[v] := v` — making `v` the root and `G` a rooted forest. Each
+//!    non-root's chosen edge joins the MSF.
+//! 2. **LLP pointer jumping** — the rooted trees are flattened to rooted
+//!    stars with the predicate `B ≡ ∀j : G[j] = G[G[j]]`
+//!    (`forbidden(j) ≡ G[j] ≠ G[G[j]]`, `advance: G[j] := G[G[j]]`),
+//!    run with relaxed atomic loads/stores — no CAS, no locks (Lemma 3/4:
+//!    every intermediate pointer is a valid ancestor, so racy readers only
+//!    ever observe correct states).
+//! 3. **Contraction** — roots are renumbered densely; edges with distinct
+//!    root labels survive into the recursive instance, carrying their
+//!    original edge identity so the final forest references input vertices.
+//!
+//! The per-round machinery lives in the crate-private `contraction` module (shared with the
+//! Boruvka–Prim [`crate::hybrid`]). Compare with
+//! [`crate::parallel_boruvka`], which synchronises through shared
+//! per-component CAS cells and a concurrent union–find every round.
+
+use crate::contraction::Contraction;
+use crate::result::MstResult;
+use crate::stats::AlgoStats;
+use llp_graph::{CsrGraph, Edge};
+use llp_runtime::{ParallelForConfig, ThreadPool};
+
+/// LLP-Boruvka; computes the canonical MSF.
+pub fn llp_boruvka(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
+    drive(Contraction::new(graph), graph.num_vertices(), pool)
+}
+
+/// LLP-Boruvka over a raw undirected edge list — the Boruvka family never
+/// needs adjacency, so pipelines that already hold an edge list (e.g.
+/// streaming loaders, contraction outputs) can skip CSR construction
+/// entirely. Self-loops are ignored; endpoints must be `< n`.
+pub fn llp_boruvka_from_edges(n: usize, edges: Vec<Edge>, pool: &ThreadPool) -> MstResult {
+    assert!(
+        edges.iter().all(|e| (e.u as usize) < n && (e.v as usize) < n),
+        "edge endpoint out of range"
+    );
+    drive(Contraction::from_edge_list(n, edges), n, pool)
+}
+
+fn drive(mut c: Contraction, n: usize, pool: &ThreadPool) -> MstResult {
+    let mut stats = AlgoStats::default();
+    let cfg = ParallelForConfig::with_grain(512);
+    while !c.is_done() {
+        c.round(pool, cfg, &mut stats);
+    }
+    c.finish_stats(&mut stats);
+    MstResult::from_edges(n, c.chosen_edges(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::kruskal;
+    use llp_graph::samples::{fig1, small_forest, FIG1_MST_WEIGHT, SMALL_FOREST_MSF_WEIGHT};
+
+    fn pools() -> Vec<ThreadPool> {
+        vec![ThreadPool::new(1), ThreadPool::new(4)]
+    }
+
+    #[test]
+    fn fig1_matches_paper_trace() {
+        for pool in pools() {
+            let mst = llp_boruvka(&fig1(), &pool);
+            assert_eq!(mst.total_weight, FIG1_MST_WEIGHT);
+            // Paper: first iteration chooses {4, 3, 2} (a,c), (b,c), (d,e);
+            // second iteration chooses {7}; two rounds total.
+            assert_eq!(mst.stats.rounds, 2);
+            let mut ws: Vec<f64> = mst.edges.iter().map(|e| e.w).collect();
+            ws.sort_by(f64::total_cmp);
+            assert_eq!(ws, vec![2.0, 3.0, 4.0, 7.0]);
+        }
+    }
+
+    #[test]
+    fn forest_support() {
+        for pool in pools() {
+            let msf = llp_boruvka(&small_forest(), &pool);
+            assert_eq!(msf.total_weight, SMALL_FOREST_MSF_WEIGHT);
+            assert_eq!(msf.num_trees, 3);
+        }
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for pool in pools() {
+            for seed in 0..6 {
+                let g = llp_graph::generators::erdos_renyi(250, 900, seed);
+                assert_eq!(
+                    llp_boruvka(&g, &pool).canonical_keys(),
+                    kruskal(&g).canonical_keys(),
+                    "seed {seed} threads {}",
+                    pool.threads()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn road_and_rmat_graphs() {
+        let pool = ThreadPool::new(4);
+        let road = llp_graph::generators::road_network(
+            llp_graph::generators::RoadParams::usa_like(25, 25, 3),
+        );
+        assert_eq!(
+            llp_boruvka(&road, &pool).canonical_keys(),
+            kruskal(&road).canonical_keys()
+        );
+        let rmat = llp_graph::generators::rmat(llp_graph::generators::RmatParams::graph500(
+            9, 8, 4,
+        ));
+        assert_eq!(
+            llp_boruvka(&rmat, &pool).canonical_keys(),
+            kruskal(&rmat).canonical_keys()
+        );
+    }
+
+    #[test]
+    fn no_cas_in_pointer_jumping() {
+        // LLP-Boruvka must do strictly less synchronization than the
+        // baseline: no union-find, no per-component CAS beyond MWE writes.
+        let g = llp_graph::generators::erdos_renyi(300, 2000, 2);
+        let pool = ThreadPool::new(2);
+        let llp = llp_boruvka(&g, &pool);
+        let base = crate::parallel_boruvka::boruvka_par(&g, &pool);
+        assert_eq!(llp.stats.cas_retries, 0);
+        assert!(llp.stats.pointer_jumps > 0);
+        assert_eq!(llp.canonical_keys(), base.canonical_keys());
+    }
+
+    #[test]
+    fn edge_list_entry_matches_csr_entry() {
+        let pool = ThreadPool::new(2);
+        for seed in 0..4 {
+            let g = llp_graph::generators::erdos_renyi(150, 500, seed);
+            let edges: Vec<llp_graph::Edge> = g.edges().collect();
+            let via_csr = llp_boruvka(&g, &pool);
+            let via_edges = llp_boruvka_from_edges(g.num_vertices(), edges, &pool);
+            assert_eq!(via_csr.canonical_keys(), via_edges.canonical_keys());
+        }
+    }
+
+    #[test]
+    fn edge_list_entry_skips_self_loops() {
+        let pool = ThreadPool::new(1);
+        let edges = vec![
+            llp_graph::Edge::new(0, 0, 1.0), // self loop: ignored
+            llp_graph::Edge::new(0, 1, 2.0),
+            llp_graph::Edge::new(1, 2, 3.0),
+        ];
+        let msf = llp_boruvka_from_edges(3, edges, &pool);
+        assert_eq!(msf.total_weight, 5.0);
+        assert_eq!(msf.num_trees, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_list_entry_rejects_bad_endpoints() {
+        let pool = ThreadPool::new(1);
+        let _ = llp_boruvka_from_edges(2, vec![llp_graph::Edge::new(0, 5, 1.0)], &pool);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let pool = ThreadPool::new(2);
+        let r = llp_boruvka(&CsrGraph::empty(3), &pool);
+        assert!(r.edges.is_empty());
+        assert_eq!(r.num_trees, 3);
+        assert_eq!(r.stats.rounds, 0);
+    }
+
+    #[test]
+    fn rounds_shrink_geometrically() {
+        let g = llp_graph::generators::path(4096, 8);
+        let pool = ThreadPool::new(2);
+        let mst = llp_boruvka(&g, &pool);
+        assert_eq!(mst.edges.len(), 4095);
+        assert!(mst.stats.rounds <= 13, "rounds = {}", mst.stats.rounds);
+    }
+}

@@ -1,0 +1,208 @@
+//! Parallel Boruvka baseline (GBBS-style, non-LLP).
+//!
+//! This is the comparison point of the paper's Figs 3–4 ("a fast parallel
+//! implementation of Boruvka" from GBBS). Synchronous rounds over a shared
+//! edge list:
+//!
+//! 1. **MWE selection** — every live edge does a `find` on both endpoints
+//!    and, when they differ, performs an atomic *priority write* into both
+//!    components' best-edge cells (CAS loops keyed by [`llp_graph::EdgeKey`]).
+//! 2. **Hooking** — each component's winning edge is committed by a
+//!    concurrent union–find `union` (more CAS traffic).
+//! 3. **Filtering** — edges whose endpoints merged are packed away.
+//!
+//! Every step synchronises through atomic read-modify-writes on *shared*
+//! cells (component best-edge slots, union–find parents). That per-round
+//! synchronization burden is precisely what LLP-Boruvka removes with its
+//! per-vertex MWE + relaxed pointer jumping; the `atomic_rmw`/`cas_retries`
+//! counters make the contrast measurable on any machine.
+
+use crate::result::MstResult;
+use crate::stats::AlgoStats;
+use crate::union_find::ConcurrentUnionFind;
+use llp_graph::{CsrGraph, Edge};
+use llp_runtime::atomics::AtomicIndexMin;
+use llp_runtime::{parallel_for, Bag, Counter, ParallelForConfig, ThreadPool};
+use std::sync::atomic::Ordering;
+
+/// Parallel Boruvka; computes the canonical MSF.
+pub fn boruvka_par(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
+    let n = graph.num_vertices();
+    let mut stats = AlgoStats::default();
+    let all_edges: Vec<Edge> = graph.edges().collect();
+    let keys: Vec<llp_graph::EdgeKey> = all_edges.iter().map(Edge::key).collect();
+
+    let uf = ConcurrentUnionFind::new(n);
+    let best: Vec<AtomicIndexMin> = (0..n).map(|_| AtomicIndexMin::new()).collect();
+    let mut live: Vec<u32> = (0..all_edges.len() as u32).collect();
+    let mut chosen: Vec<Edge> = Vec::with_capacity(n.saturating_sub(1));
+    let cfg = ParallelForConfig::with_grain(512);
+    let rmw = Counter::new();
+
+    while !live.is_empty() {
+        stats.rounds += 1;
+        stats.parallel_regions += 3;
+
+        // Phase 1: priority-write each live edge into both components.
+        {
+            let live_ref = &live;
+            let edges_ref = &all_edges;
+            let keys_ref = &keys;
+            let best_ref = &best;
+            let uf_ref = &uf;
+            let rmw_ref = &rmw;
+            parallel_for(pool, 0..live.len(), cfg, |i| {
+                let ei = live_ref[i];
+                let e = edges_ref[ei as usize];
+                let ru = uf_ref.find(e.u);
+                let rv = uf_ref.find(e.v);
+                if ru == rv {
+                    return;
+                }
+                let key_of = |idx: u64| keys_ref[idx as usize];
+                best_ref[ru as usize].propose_min_by(ei as u64, key_of);
+                best_ref[rv as usize].propose_min_by(ei as u64, key_of);
+                rmw_ref.add(2);
+            });
+        }
+
+        // Phase 2: hook every component along its winning edge.
+        let winners: Bag<u32> = Bag::new(pool.threads());
+        {
+            let live_ref = &live;
+            let edges_ref = &all_edges;
+            let best_ref = &best;
+            let uf_ref = &uf;
+            let winners_ref = &winners;
+            let rmw_ref = &rmw;
+            parallel_for(pool, 0..live.len(), cfg, |i| {
+                // Each live edge checks whether it won either endpoint's
+                // component slot; the winning edge performs the union. The
+                // same edge can win both slots — `union` returns false the
+                // second time, so it is committed exactly once.
+                let ei = live_ref[i] as u64;
+                let e = edges_ref[ei as usize];
+                let ru = uf_ref.find(e.u);
+                let rv = uf_ref.find(e.v);
+                if ru == rv {
+                    return;
+                }
+                let won = best_ref[ru as usize].load(Ordering::Relaxed) == ei
+                    || best_ref[rv as usize].load(Ordering::Relaxed) == ei;
+                if won {
+                    rmw_ref.incr();
+                    if uf_ref.union(e.u, e.v) {
+                        winners_ref.push(current_segment(pool, i), ei as u32);
+                    }
+                }
+            });
+        }
+        let mut round_chosen = winners.drain_to_vec();
+        if round_chosen.is_empty() {
+            break;
+        }
+        round_chosen.sort_unstable();
+        chosen.extend(round_chosen.iter().map(|&ei| all_edges[ei as usize]));
+
+        // Reset winning slots for the next round (only roots that were
+        // touched matter, but a full reset keeps the loop simple and is a
+        // linear scan without synchronization).
+        {
+            let best_ref = &best;
+            parallel_for(pool, 0..n, cfg, |c| best_ref[c].reset());
+        }
+
+        // Phase 3: pack away intra-component edges.
+        let survivors = llp_runtime::scan::pack_indices(pool, live.len(), cfg, |i| {
+            let e = all_edges[live[i] as usize];
+            uf.find(e.u) != uf.find(e.v)
+        });
+        live = survivors.into_iter().map(|i| live[i]).collect();
+        stats.edges_scanned += live.len() as u64;
+    }
+
+    stats.cas_retries = uf.cas_retries();
+    stats.atomic_rmw = rmw.get();
+    MstResult::from_edges(n, chosen, stats)
+}
+
+/// Maps a loop index to a bag segment without thread-identity plumbing:
+/// any stable mapping works because bags only need per-segment mutual
+/// exclusion, which the internal mutex provides.
+fn current_segment(pool: &ThreadPool, i: usize) -> usize {
+    i % pool.threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::kruskal;
+    use llp_graph::samples::{fig1, small_forest, FIG1_MST_WEIGHT, SMALL_FOREST_MSF_WEIGHT};
+
+    fn pools() -> Vec<ThreadPool> {
+        vec![ThreadPool::new(1), ThreadPool::new(4)]
+    }
+
+    #[test]
+    fn fig1_mst() {
+        for pool in pools() {
+            let mst = boruvka_par(&fig1(), &pool);
+            assert_eq!(mst.total_weight, FIG1_MST_WEIGHT);
+            assert_eq!(mst.edges.len(), 4);
+        }
+    }
+
+    #[test]
+    fn forest_support() {
+        for pool in pools() {
+            let msf = boruvka_par(&small_forest(), &pool);
+            assert_eq!(msf.total_weight, SMALL_FOREST_MSF_WEIGHT);
+            assert_eq!(msf.num_trees, 3);
+        }
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for pool in pools() {
+            for seed in 0..5 {
+                let g = llp_graph::generators::erdos_renyi(300, 1200, seed);
+                assert_eq!(
+                    boruvka_par(&g, &pool).canonical_keys(),
+                    kruskal(&g).canonical_keys(),
+                    "seed {seed} threads {}",
+                    pool.threads()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn road_graph_connected_tree() {
+        let g = llp_graph::generators::road_network(
+            llp_graph::generators::RoadParams::usa_like(20, 20, 9),
+        );
+        let pool = ThreadPool::new(4);
+        let mst = boruvka_par(&g, &pool);
+        assert!(mst.is_spanning_tree(g.num_vertices()));
+        assert_eq!(
+            mst.canonical_keys(),
+            kruskal(&g).canonical_keys()
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let pool = ThreadPool::new(2);
+        let r = boruvka_par(&CsrGraph::empty(5), &pool);
+        assert!(r.edges.is_empty());
+        assert_eq!(r.num_trees, 5);
+    }
+
+    #[test]
+    fn reports_synchronization_work() {
+        let g = llp_graph::generators::erdos_renyi(200, 2000, 1);
+        let pool = ThreadPool::new(2);
+        let r = boruvka_par(&g, &pool);
+        assert!(r.stats.atomic_rmw > 0, "baseline must count RMW traffic");
+    }
+}

@@ -1,0 +1,292 @@
+//! MST/MSF verification.
+//!
+//! Structural checks (spanning forest of the right shape), the Kruskal
+//! oracle (canonical edge-set equality), and a direct cut-property check
+//! used on small inputs by the property tests.
+
+use crate::kruskal::kruskal;
+use crate::result::MstResult;
+use crate::union_find::UnionFind;
+use llp_graph::algo::connectivity::connected_components;
+use llp_graph::{CsrGraph, Edge};
+
+/// A verification failure, with what went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// An edge in the result does not exist in the graph.
+    ForeignEdge(Edge),
+    /// The result contains a cycle.
+    Cycle(Edge),
+    /// The result has the wrong number of edges for a spanning forest.
+    WrongEdgeCount {
+        /// Edges present in the result.
+        got: usize,
+        /// `n - #components` of the input graph.
+        want: usize,
+    },
+    /// The result's edge set differs from the canonical MSF.
+    NotMinimum {
+        /// Weight of the submitted forest.
+        got_weight: f64,
+        /// Weight of the canonical MSF.
+        min_weight: f64,
+    },
+    /// A tree edge is not the minimum edge across the cut it defines.
+    CutViolation(Edge),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::ForeignEdge(e) => write!(f, "edge ({},{}) not in graph", e.u, e.v),
+            VerifyError::Cycle(e) => write!(f, "edge ({},{}) closes a cycle", e.u, e.v),
+            VerifyError::WrongEdgeCount { got, want } => {
+                write!(f, "forest has {got} edges, expected {want}")
+            }
+            VerifyError::NotMinimum {
+                got_weight,
+                min_weight,
+            } => write!(f, "forest weighs {got_weight}, minimum is {min_weight}"),
+            VerifyError::CutViolation(e) => {
+                write!(f, "edge ({},{}) is not minimal across its cut", e.u, e.v)
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Structural check: the edges exist in the graph, are acyclic, and span
+/// exactly the graph's components.
+pub fn verify_forest_structure(graph: &CsrGraph, result: &MstResult) -> Result<(), VerifyError> {
+    let n = graph.num_vertices();
+    // Edge membership with matching weight.
+    for e in &result.edges {
+        let exists = graph
+            .neighbors(e.u)
+            .any(|(v, w)| v == e.v && w == e.w);
+        if !exists {
+            return Err(VerifyError::ForeignEdge(*e));
+        }
+    }
+    // Acyclic.
+    let mut uf = UnionFind::new(n);
+    for e in &result.edges {
+        if !uf.union(e.u, e.v) {
+            return Err(VerifyError::Cycle(*e));
+        }
+    }
+    // Spans every component.
+    let want = n - connected_components(graph).num_components;
+    if result.edges.len() != want {
+        return Err(VerifyError::WrongEdgeCount {
+            got: result.edges.len(),
+            want,
+        });
+    }
+    Ok(())
+}
+
+/// Full verification: structure plus exact match with the canonical MSF
+/// computed by Kruskal.
+pub fn verify_msf(graph: &CsrGraph, result: &MstResult) -> Result<(), VerifyError> {
+    verify_forest_structure(graph, result)?;
+    let oracle = kruskal(graph);
+    if result.canonical_keys() != oracle.canonical_keys() {
+        return Err(VerifyError::NotMinimum {
+            got_weight: result.total_weight,
+            min_weight: oracle.total_weight,
+        });
+    }
+    Ok(())
+}
+
+/// Direct cycle-property check (no oracle): every *non-tree* edge must be
+/// at least as heavy (under the canonical order) as every tree edge on the
+/// tree path between its endpoints — otherwise swapping would improve the
+/// forest. O(m · tree depth) via [`crate::tree::RootedForest`]; the dual
+/// of [`verify_cut_property`].
+pub fn verify_cycle_property(graph: &CsrGraph, result: &MstResult) -> Result<(), VerifyError> {
+    let forest = crate::tree::RootedForest::new(graph.num_vertices(), result, 0);
+    let tree_keys: std::collections::HashSet<_> =
+        result.edges.iter().map(Edge::key).collect();
+    for e in graph.edges() {
+        let key = e.key();
+        if tree_keys.contains(&key) {
+            continue;
+        }
+        match forest.path_max_key(e.u, e.v) {
+            Some(max_on_path) if key < max_on_path => {
+                return Err(VerifyError::CutViolation(e));
+            }
+            Some(_) => {}
+            None => {
+                // Endpoints in different trees but a connecting edge exists:
+                // the forest fails to span a component.
+                return Err(VerifyError::WrongEdgeCount {
+                    got: result.edges.len(),
+                    want: result.edges.len() + 1,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Direct cut-property check (no oracle): every tree edge must be the
+/// minimum-key graph edge crossing the cut obtained by removing it from
+/// its tree. O(|T| · m) — use on small graphs.
+pub fn verify_cut_property(graph: &CsrGraph, result: &MstResult) -> Result<(), VerifyError> {
+    let n = graph.num_vertices();
+    for (i, e) in result.edges.iter().enumerate() {
+        // Partition vertices by the forest minus edge i.
+        let mut uf = UnionFind::new(n);
+        for (j, f) in result.edges.iter().enumerate() {
+            if j != i {
+                uf.union(f.u, f.v);
+            }
+        }
+        let side = uf.find(e.u);
+        // e must be the minimum graph edge between the two sides.
+        let key = e.key();
+        for g in graph.edges() {
+            let cu = uf.find(g.u);
+            let cv = uf.find(g.v);
+            let crosses = (cu == side) != (cv == side);
+            if crosses && cu != cv && g.key() < key {
+                return Err(VerifyError::CutViolation(*e));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::AlgoStats;
+    use llp_graph::samples::fig1;
+
+    fn mst_of_fig1() -> MstResult {
+        kruskal(&fig1())
+    }
+
+    #[test]
+    fn accepts_the_real_mst() {
+        let g = fig1();
+        let mst = mst_of_fig1();
+        verify_forest_structure(&g, &mst).unwrap();
+        verify_msf(&g, &mst).unwrap();
+        verify_cut_property(&g, &mst).unwrap();
+        verify_cycle_property(&g, &mst).unwrap();
+    }
+
+    #[test]
+    fn cycle_property_rejects_suboptimal_tree() {
+        let g = fig1();
+        // Swap the 7-edge for the 9-edge: still spanning, not minimum. The
+        // non-tree 7-edge (b,d) is lighter than the 9-edge on its cycle.
+        let subopt = MstResult::from_edges(
+            5,
+            vec![
+                Edge::new(3, 4, 2.0),
+                Edge::new(1, 2, 3.0),
+                Edge::new(0, 2, 4.0),
+                Edge::new(2, 3, 9.0),
+            ],
+            AlgoStats::default(),
+        );
+        assert!(matches!(
+            verify_cycle_property(&g, &subopt),
+            Err(VerifyError::CutViolation(_))
+        ));
+    }
+
+    #[test]
+    fn cycle_property_accepts_msf_on_random_graphs() {
+        for seed in 0..5 {
+            let g = llp_graph::generators::erdos_renyi(80, 250, seed);
+            let msf = kruskal(&g);
+            verify_cycle_property(&g, &msf).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_edges() {
+        let g = fig1();
+        let fake = MstResult::from_edges(
+            5,
+            vec![Edge::new(0, 4, 1.0)], // no such edge
+            AlgoStats::default(),
+        );
+        assert!(matches!(
+            verify_forest_structure(&g, &fake),
+            Err(VerifyError::ForeignEdge(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let g = fig1();
+        let cyclic = MstResult::from_edges(
+            5,
+            vec![
+                Edge::new(1, 2, 3.0),
+                Edge::new(0, 2, 4.0),
+                Edge::new(0, 1, 5.0), // closes the triangle
+            ],
+            AlgoStats::default(),
+        );
+        assert!(matches!(
+            verify_forest_structure(&g, &cyclic),
+            Err(VerifyError::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_spanning() {
+        let g = fig1();
+        let partial = MstResult::from_edges(
+            5,
+            vec![Edge::new(1, 2, 3.0)],
+            AlgoStats::default(),
+        );
+        assert!(matches!(
+            verify_forest_structure(&g, &partial),
+            Err(VerifyError::WrongEdgeCount { got: 1, want: 4 })
+        ));
+    }
+
+    #[test]
+    fn rejects_suboptimal_spanning_tree() {
+        let g = fig1();
+        // Spanning but includes the 9 edge instead of 7: weight 18 > 16.
+        let subopt = MstResult::from_edges(
+            5,
+            vec![
+                Edge::new(3, 4, 2.0),
+                Edge::new(1, 2, 3.0),
+                Edge::new(0, 2, 4.0),
+                Edge::new(2, 3, 9.0),
+            ],
+            AlgoStats::default(),
+        );
+        verify_forest_structure(&g, &subopt).unwrap();
+        assert!(matches!(
+            verify_msf(&g, &subopt),
+            Err(VerifyError::NotMinimum { .. })
+        ));
+        assert!(matches!(
+            verify_cut_property(&g, &subopt),
+            Err(VerifyError::CutViolation(_))
+        ));
+    }
+
+    #[test]
+    fn forest_inputs_verify() {
+        let g = llp_graph::samples::small_forest();
+        let msf = kruskal(&g);
+        verify_msf(&g, &msf).unwrap();
+        verify_cut_property(&g, &msf).unwrap();
+    }
+}

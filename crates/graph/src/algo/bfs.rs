@@ -1,0 +1,91 @@
+//! Breadth-first search.
+
+use crate::csr::CsrGraph;
+use crate::{VertexId, NO_VERTEX};
+use std::collections::VecDeque;
+
+/// Visits all vertices reachable from `source` in BFS order; returns the
+/// visit order. The paper's baseline Boruvka (Algorithm 3) labels components
+/// with exactly this traversal.
+pub fn bfs_order(graph: &CsrGraph, source: VertexId) -> Vec<VertexId> {
+    let mut parent = vec![NO_VERTEX; graph.num_vertices()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    parent[source as usize] = source;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for (v, _) in graph.neighbors(u) {
+            if parent[v as usize] == NO_VERTEX {
+                parent[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// BFS distances (in hops) from `source`; unreachable vertices get
+/// `u32::MAX`. Used by tests to measure diameter-ish quantities.
+pub fn bfs_distances(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in graph.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, path, star};
+
+    #[test]
+    fn bfs_covers_connected_graph() {
+        let g = path(10, 0);
+        let order = bfs_order(&g, 0);
+        assert_eq!(order.len(), 10);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[9], 9);
+    }
+
+    #[test]
+    fn bfs_from_middle_of_path() {
+        let g = path(5, 0);
+        let order = bfs_order(&g, 2);
+        assert_eq!(order[0], 2);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn bfs_distances_on_cycle() {
+        let g = cycle(6, 0);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_distances_star() {
+        let g = star(5, 0);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn unreachable_vertices_marked() {
+        use crate::edge::Edge;
+        let g = CsrGraph::from_edges(4, &[Edge::new(0, 1, 1.0)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+        assert_eq!(d[3], u32::MAX);
+    }
+}

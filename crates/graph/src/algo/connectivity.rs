@@ -1,0 +1,190 @@
+//! Connected components.
+
+use crate::csr::CsrGraph;
+use crate::{VertexId, NO_VERTEX};
+use std::collections::VecDeque;
+
+/// Result of a connected-components computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the smallest vertex id in v's component (so labels are
+    /// canonical, mirroring the paper's "least numbered vertex" convention
+    /// in Algorithm 3).
+    pub label: Vec<VertexId>,
+    /// Number of distinct components.
+    pub num_components: usize,
+}
+
+impl Components {
+    /// True when `u` and `v` are in the same component.
+    pub fn same(&self, u: VertexId, v: VertexId) -> bool {
+        self.label[u as usize] == self.label[v as usize]
+    }
+
+    /// Sizes of components keyed by canonical label.
+    pub fn sizes(&self) -> Vec<(VertexId, usize)> {
+        let mut counts = std::collections::HashMap::new();
+        for &l in &self.label {
+            *counts.entry(l).or_insert(0usize) += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Labels components by BFS from each unvisited vertex in increasing id
+/// order — exactly the component identification step of the paper's
+/// Algorithm 3 ("do a BFS in the graph (V, T) from vertex i setting cid of
+/// every visited vertex to i").
+pub fn connected_components(graph: &CsrGraph) -> Components {
+    let n = graph.num_vertices();
+    let mut label = vec![NO_VERTEX; n];
+    let mut num_components = 0;
+    let mut queue = VecDeque::new();
+    for start in 0..n as VertexId {
+        if label[start as usize] != NO_VERTEX {
+            continue;
+        }
+        num_components += 1;
+        label[start as usize] = start;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in graph.neighbors(u) {
+                if label[v as usize] == NO_VERTEX {
+                    label[v as usize] = start;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    Components {
+        label,
+        num_components,
+    }
+}
+
+/// True when the graph has exactly one component (vacuously true for n ≤ 1).
+pub fn is_connected(graph: &CsrGraph) -> bool {
+    connected_components(graph).num_components <= 1
+}
+
+/// Extracts the largest connected component as a standalone graph with
+/// densely renumbered vertices (preserving relative id order).
+///
+/// Graph500/RMAT generators leave isolated vertices and small fragments;
+/// MST benchmarks conventionally run on the giant component (the paper's
+/// "Graph500 18M" is the used subset of the scale-25 graph). Returns an
+/// empty 0-vertex graph for an empty input.
+pub fn largest_component(graph: &CsrGraph) -> CsrGraph {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return CsrGraph::empty(0);
+    }
+    let comps = connected_components(graph);
+    // Find the label with the most members.
+    let mut counts: std::collections::HashMap<VertexId, usize> = std::collections::HashMap::new();
+    for &l in &comps.label {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let (&giant, _) = counts
+        .iter()
+        .max_by_key(|&(label, count)| (*count, std::cmp::Reverse(*label)))
+        .expect("non-empty graph has a component");
+    // Dense renumbering of the giant component's vertices.
+    let mut new_id = vec![NO_VERTEX; n];
+    let mut next = 0 as VertexId;
+    for (slot, &label) in new_id.iter_mut().zip(&comps.label) {
+        if label == giant {
+            *slot = next;
+            next += 1;
+        }
+    }
+    let edges: Vec<crate::edge::Edge> = graph
+        .edges()
+        .filter(|e| comps.label[e.u as usize] == giant)
+        .map(|e| crate::edge::Edge::new(new_id[e.u as usize], new_id[e.v as usize], e.w))
+        .collect();
+    CsrGraph::from_edges(next as usize, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+    use crate::generators::{cycle, path};
+
+    #[test]
+    fn path_is_one_component() {
+        let c = connected_components(&path(10, 0));
+        assert_eq!(c.num_components, 1);
+        assert!(c.label.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn disjoint_edges_are_separate_components() {
+        let g = CsrGraph::from_edges(6, &[Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0)]);
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 4); // {0,1}, {2,3}, {4}, {5}
+        assert!(c.same(0, 1));
+        assert!(c.same(2, 3));
+        assert!(!c.same(0, 2));
+        assert_eq!(c.label[4], 4);
+        assert_eq!(c.label[5], 5);
+    }
+
+    #[test]
+    fn labels_are_minimum_ids() {
+        let g = CsrGraph::from_edges(5, &[Edge::new(4, 2, 1.0), Edge::new(2, 3, 1.0)]);
+        let c = connected_components(&g);
+        assert_eq!(c.label[2], 2);
+        assert_eq!(c.label[3], 2);
+        assert_eq!(c.label[4], 2);
+    }
+
+    #[test]
+    fn sizes_reports_all_components() {
+        let g = CsrGraph::from_edges(5, &[Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)]);
+        let c = connected_components(&g);
+        assert_eq!(c.sizes(), vec![(0, 3), (3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn largest_component_extracts_giant() {
+        let g = CsrGraph::from_edges(
+            7,
+            &[
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 2.0),
+                Edge::new(2, 0, 3.0),
+                Edge::new(4, 5, 4.0),
+            ],
+        );
+        let giant = largest_component(&g);
+        assert_eq!(giant.num_vertices(), 3);
+        assert_eq!(giant.num_edges(), 3);
+        assert!(is_connected(&giant));
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_identity_shaped() {
+        let g = cycle(6, 1);
+        let giant = largest_component(&g);
+        assert_eq!(giant, g);
+    }
+
+    #[test]
+    fn largest_component_empty() {
+        assert_eq!(largest_component(&CsrGraph::empty(0)).num_vertices(), 0);
+        // all-isolated graph: a single vertex survives
+        assert_eq!(largest_component(&CsrGraph::empty(5)).num_vertices(), 1);
+    }
+
+    #[test]
+    fn is_connected_checks() {
+        assert!(is_connected(&cycle(5, 0)));
+        assert!(is_connected(&CsrGraph::empty(1)));
+        assert!(is_connected(&CsrGraph::empty(0)));
+        assert!(!is_connected(&CsrGraph::empty(2)));
+    }
+}

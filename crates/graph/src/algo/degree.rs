@@ -1,0 +1,81 @@
+//! Degree statistics (the dataset summary the paper reports in Table I).
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics over vertex degrees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Vertex count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub m: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Average degree (2m/n).
+    pub avg: f64,
+    /// Number of isolated vertices.
+    pub isolated: usize,
+}
+
+/// Computes degree statistics in one pass.
+pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+    let n = graph.num_vertices();
+    let mut min = usize::MAX;
+    let mut max = 0;
+    let mut isolated = 0;
+    for v in 0..n as u32 {
+        let d = graph.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    if n == 0 {
+        min = 0;
+    }
+    DegreeStats {
+        n,
+        m: graph.num_edges(),
+        min,
+        max,
+        avg: graph.average_degree(),
+        isolated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+    use crate::generators::star;
+
+    #[test]
+    fn star_stats() {
+        let s = degree_stats(&star(10, 0));
+        assert_eq!(s.n, 10);
+        assert_eq!(s.m, 9);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.isolated, 0);
+        assert!((s.avg - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_counted() {
+        let g = CsrGraph::from_edges(4, &[Edge::new(0, 1, 1.0)]);
+        let s = degree_stats(&g);
+        assert_eq!(s.isolated, 2);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = degree_stats(&CsrGraph::empty(0));
+        assert_eq!(s.n, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+    }
+}

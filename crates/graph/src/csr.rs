@@ -1,0 +1,415 @@
+//! Compressed sparse row storage for undirected weighted graphs.
+//!
+//! Structure-of-arrays layout: `offsets[v]..offsets[v+1]` indexes into
+//! parallel `targets`/`weights` arrays. Each undirected edge `{u, v}` is
+//! stored twice (once per direction), the standard representation in both
+//! Galois and GBBS. The structure is immutable after construction, which is
+//! what lets the parallel algorithms read it without synchronization.
+
+use crate::edge::Edge;
+use crate::weight::{EdgeKey, Weight};
+use crate::VertexId;
+use llp_runtime::{parallel_map_collect, ParallelForConfig, ThreadPool};
+
+/// An immutable undirected weighted graph in CSR form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrGraph {
+    n: usize,
+    /// `n + 1` offsets into `targets`/`weights`.
+    offsets: Vec<u64>,
+    /// Neighbor vertex ids, grouped by source.
+    targets: Vec<VertexId>,
+    /// Weights parallel to `targets`.
+    weights: Vec<Weight>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from a clean undirected edge list.
+    ///
+    /// Requirements (checked in debug builds): endpoints `< n`, no
+    /// self-loops, no duplicate `{u, v}` pairs. Use [`crate::GraphBuilder`]
+    /// to sanitise arbitrary input first.
+    ///
+    /// ```
+    /// use llp_graph::{CsrGraph, Edge};
+    ///
+    /// let g = CsrGraph::from_edges(3, &[Edge::new(0, 1, 2.5), Edge::new(1, 2, 1.5)]);
+    /// assert_eq!(g.num_edges(), 2);
+    /// assert_eq!(g.degree(1), 2);
+    /// assert_eq!(g.min_edge(1).unwrap().weight(), 1.5);
+    /// ```
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        debug_assert!(edges.iter().all(|e| !e.is_self_loop()), "self-loop");
+        debug_assert!(
+            edges
+                .iter()
+                .all(|e| (e.u as usize) < n && (e.v as usize) < n),
+            "endpoint out of range"
+        );
+
+        // Counting sort by source vertex over both directions.
+        let mut degree = vec![0u64; n + 1];
+        for e in edges {
+            degree[e.u as usize + 1] += 1;
+            degree[e.v as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            degree[i] += degree[i - 1];
+        }
+        let offsets = degree;
+        let m2 = offsets[n] as usize;
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; m2];
+        let mut weights = vec![0.0 as Weight; m2];
+        for e in edges {
+            let cu = cursor[e.u as usize] as usize;
+            targets[cu] = e.v;
+            weights[cu] = e.w;
+            cursor[e.u as usize] += 1;
+            let cv = cursor[e.v as usize] as usize;
+            targets[cv] = e.u;
+            weights[cv] = e.w;
+            cursor[e.v as usize] += 1;
+        }
+
+        CsrGraph {
+            n,
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Parallel counterpart of [`CsrGraph::from_edges`]: counts degrees,
+    /// prefix-sums offsets and scatters arcs on the pool. Arc order within
+    /// an adjacency list differs from the sequential builder (scatter order
+    /// is nondeterministic), which no algorithm observes — they all reduce
+    /// over adjacency with order-free operations.
+    pub fn from_edges_parallel(pool: &ThreadPool, n: usize, edges: &[Edge]) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        debug_assert!(edges.iter().all(|e| !e.is_self_loop()), "self-loop");
+        debug_assert!(
+            edges
+                .iter()
+                .all(|e| (e.u as usize) < n && (e.v as usize) < n),
+            "endpoint out of range"
+        );
+        let cfg = ParallelForConfig::with_grain(2048);
+
+        // Degree count with atomic increments.
+        let degree: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        {
+            let degree = &degree;
+            llp_runtime::parallel_for(pool, 0..edges.len(), cfg, |i| {
+                let e = edges[i];
+                degree[e.u as usize].fetch_add(1, Ordering::Relaxed);
+                degree[e.v as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let counts: Vec<u64> = degree.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+        let (scanned, total) = llp_runtime::scan::exclusive_scan(pool, &counts);
+        let mut offsets = scanned;
+        offsets.push(total);
+
+        // Scatter with per-vertex atomic cursors.
+        let cursor: Vec<AtomicU64> = offsets[..n]
+            .iter()
+            .map(|&o| AtomicU64::new(o))
+            .collect();
+        let m2 = total as usize;
+        let mut targets = vec![0 as VertexId; m2];
+        let mut weights = vec![0.0 as Weight; m2];
+        {
+            struct Ptrs(*mut VertexId, *mut Weight);
+            // SAFETY: each arc slot is claimed exactly once via fetch_add.
+            unsafe impl Sync for Ptrs {}
+            let ptrs = Ptrs(targets.as_mut_ptr(), weights.as_mut_ptr());
+            let ptrs = &ptrs;
+            let cursor = &cursor;
+            llp_runtime::parallel_for(pool, 0..edges.len(), cfg, |i| {
+                let e = edges[i];
+                for (from, to) in [(e.u, e.v), (e.v, e.u)] {
+                    let slot =
+                        cursor[from as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                    // SAFETY: slots within a vertex's range are unique by
+                    // the fetch_add; ranges of distinct vertices are
+                    // disjoint by the exclusive scan.
+                    unsafe {
+                        *ptrs.0.add(slot) = to;
+                        *ptrs.1.add(slot) = e.w;
+                    }
+                }
+            });
+        }
+
+        CsrGraph {
+            n,
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// An empty graph on `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            n,
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Number of directed arcs stored (`2 * num_edges`).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// The arc-index range of `v` in the CSR arc arrays. Arc indices are
+    /// stable identifiers used by the parallel algorithms as compact
+    /// edge-instance handles (an undirected edge has two arcs).
+    #[inline]
+    pub fn arc_range(&self, v: VertexId) -> (usize, usize) {
+        (
+            self.offsets[v as usize] as usize,
+            self.offsets[v as usize + 1] as usize,
+        )
+    }
+
+    /// Target and weight of arc `a`.
+    #[inline]
+    pub fn arc(&self, a: usize) -> (VertexId, Weight) {
+        (self.targets[a], self.weights[a])
+    }
+
+    /// Neighbor ids and weights of `v` as parallel slices.
+    #[inline]
+    pub fn neighbor_slices(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Iterates over `(neighbor, weight)` pairs of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let (t, w) = self.neighbor_slices(v);
+        t.iter().copied().zip(w.iter().copied())
+    }
+
+    /// The minimum-weight edge adjacent to `v` under the canonical order,
+    /// or `None` for isolated vertices.
+    pub fn min_edge(&self, v: VertexId) -> Option<EdgeKey> {
+        self.neighbors(v)
+            .map(|(to, w)| EdgeKey::new(w, v, to))
+            .min()
+    }
+
+    /// Computes every vertex's minimum-weight edge in parallel.
+    ///
+    /// Isolated vertices get [`EdgeKey::infinite`]. This is the
+    /// precomputation LLP-Prim's early-fixing rule relies on ("every vertex
+    /// can determine this information in parallel").
+    pub fn compute_mwe(&self, pool: &ThreadPool) -> Vec<EdgeKey> {
+        parallel_map_collect(
+            pool,
+            0..self.n,
+            ParallelForConfig::with_grain(512),
+            |v| {
+                self.min_edge(v as VertexId)
+                    .unwrap_or_else(EdgeKey::infinite)
+            },
+        )
+    }
+
+    /// Iterates over each undirected edge exactly once (as stored from the
+    /// lower endpoint).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| Edge::new(u, v, w))
+        })
+    }
+
+    /// Sum of all undirected edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges().map(|e| e.w).sum()
+    }
+
+    /// Average degree (`2m / n`), used by the Table I dataset summary.
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.num_arcs() as f64 / self.n as f64
+        }
+    }
+
+    /// Consistency check used by tests: every arc has a reverse arc with the
+    /// same weight, no self loops, offsets monotone.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.len() != self.n + 1 {
+            return Err("offsets length mismatch".into());
+        }
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() as usize != self.targets.len() {
+            return Err("offsets do not cover arc array".into());
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        if self.targets.len() != self.weights.len() {
+            return Err("targets/weights length mismatch".into());
+        }
+        for u in 0..self.n as VertexId {
+            for (v, w) in self.neighbors(u) {
+                if v as usize >= self.n {
+                    return Err(format!("arc {u}->{v} out of range"));
+                }
+                if v == u {
+                    return Err(format!("self loop at {u}"));
+                }
+                if !self.neighbors(v).any(|(x, wx)| x == u && wx == w) {
+                    return Err(format!("arc {u}->{v} has no symmetric twin"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::samples::fig1;
+
+    #[test]
+    fn fig1_shape() {
+        let g = fig1();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.num_arcs(), 14);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees_match_fig1_choice_table() {
+        let g = fig1();
+        assert_eq!(g.degree(1), 3); // b: 3 5 7
+        assert_eq!(g.degree(2), 4); // c: 3 4 9 11
+        assert_eq!(g.degree(3), 3); // d: 2 7 9
+        assert_eq!(g.degree(4), 2); // e: 2 11
+    }
+
+    #[test]
+    fn min_edges_match_paper_initial_vector() {
+        let g = fig1();
+        // paper: G[b]=3, G[c]=3, G[d]=2, G[e]=2
+        assert_eq!(g.min_edge(1).unwrap().weight(), 3.0);
+        assert_eq!(g.min_edge(2).unwrap().weight(), 3.0);
+        assert_eq!(g.min_edge(3).unwrap().weight(), 2.0);
+        assert_eq!(g.min_edge(4).unwrap().weight(), 2.0);
+        assert_eq!(g.min_edge(0).unwrap().weight(), 4.0);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = fig1();
+        let es: Vec<Edge> = g.edges().collect();
+        assert_eq!(es.len(), 7);
+        let mut ws: Vec<f64> = es.iter().map(|e| e.w).collect();
+        ws.sort_by(f64::total_cmp);
+        assert_eq!(ws, vec![2.0, 3.0, 4.0, 5.0, 7.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn total_weight_sums_undirected_edges() {
+        assert_eq!(fig1().total_weight(), 41.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.min_edge(0), None);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_get_infinite_mwe() {
+        let g = CsrGraph::from_edges(4, &[Edge::new(0, 1, 1.0)]);
+        let pool = ThreadPool::new(1);
+        let mwe = g.compute_mwe(&pool);
+        assert_eq!(mwe[0], EdgeKey::new(1.0, 0, 1));
+        assert_eq!(mwe[1], EdgeKey::new(1.0, 0, 1));
+        assert_eq!(mwe[2], EdgeKey::infinite());
+        assert_eq!(mwe[3], EdgeKey::infinite());
+    }
+
+    #[test]
+    fn compute_mwe_parallel_matches_sequential() {
+        let g = fig1();
+        let p1 = ThreadPool::new(1);
+        let p4 = ThreadPool::new(4);
+        assert_eq!(g.compute_mwe(&p1), g.compute_mwe(&p4));
+    }
+
+    #[test]
+    fn parallel_construction_matches_sequential_semantics() {
+        use crate::generators::erdos_renyi;
+        let g = erdos_renyi(300, 1500, 4);
+        let edges: Vec<Edge> = g.edges().collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let p = CsrGraph::from_edges_parallel(&pool, g.num_vertices(), &edges);
+            p.validate().unwrap();
+            assert_eq!(p.num_edges(), g.num_edges());
+            // Same adjacency as sets (order may differ).
+            for v in 0..g.num_vertices() as VertexId {
+                let mut a: Vec<_> = g.neighbors(v).collect();
+                let mut b: Vec<_> = p.neighbors(v).collect();
+                a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                assert_eq!(a, b, "vertex {v}");
+            }
+            // And identical MWE tables (order-free reduction).
+            assert_eq!(p.compute_mwe(&pool), g.compute_mwe(&pool));
+        }
+    }
+
+    #[test]
+    fn parallel_construction_empty() {
+        let pool = ThreadPool::new(2);
+        let p = CsrGraph::from_edges_parallel(&pool, 5, &[]);
+        assert_eq!(p.num_edges(), 0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = fig1();
+        assert!((g.average_degree() - 14.0 / 5.0).abs() < 1e-12);
+        assert_eq!(CsrGraph::empty(0).average_degree(), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! A second scale-free family besides RMAT, with a different generative
+//! mechanism (growth + preferential attachment instead of recursive matrix
+//! sampling). BA graphs are connected by construction, so — unlike RMAT —
+//! they exercise the Prim family on scale-free topology without extracting
+//! a giant component. Used by the extended agreement tests and ablations.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Barabási–Albert graph: starts from a small clique and
+/// attaches each new vertex to `m` existing vertices chosen proportionally
+/// to degree. Weights are uniform in `(0, 1)`.
+///
+/// # Panics
+/// Panics when `n < m + 1` or `m == 0`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need at least m + 1 vertices");
+    assert!(n < u32::MAX as usize, "n too large for VertexId");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, n * m);
+
+    // Degree-proportional sampling via the repeated-endpoints trick: every
+    // edge contributes both endpoints to this list, so uniform draws from
+    // it are degree-weighted.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique on m + 1 vertices.
+    for i in 0..=m as u32 {
+        for j in 0..i {
+            builder.add_edge(i, j, rng.gen::<f64>());
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+
+    for v in (m + 1)..n {
+        let v = v as u32;
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        // Rejection-sample m distinct degree-weighted targets.
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for t in chosen {
+            builder.add_edge(v, t, rng.gen::<f64>());
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::connectivity::is_connected;
+
+    #[test]
+    fn has_expected_shape() {
+        let g = barabasi_albert(500, 3, 1);
+        assert_eq!(g.num_vertices(), 500);
+        // clique edges + m per later vertex
+        assert_eq!(g.num_edges(), 6 + (500 - 4) * 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn is_always_connected() {
+        for seed in 0..5 {
+            assert!(is_connected(&barabasi_albert(200, 2, seed)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(2000, 2, 3);
+        let max = (0..2000u32).map(|v| g.degree(v)).max().unwrap() as f64;
+        let avg = g.average_degree();
+        assert!(max > 5.0 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 5), barabasi_albert(100, 2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least m + 1")]
+    fn too_few_vertices_rejected() {
+        let _ = barabasi_albert(2, 2, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Classic fixed topologies with seeded random weights.
+//!
+//! Deterministic shapes with known MSTs (paths, stars) or known stress
+//! behaviour (complete graphs maximise Prim heap traffic; caterpillars and
+//! ladders exercise Boruvka round structure). Used by unit, property and
+//! ablation tests.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn weights(seed: u64) -> impl FnMut() -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    move || rng.gen::<f64>() + 0.001
+}
+
+/// Path 0 — 1 — … — (n-1). Its MST is the path itself.
+pub fn path(n: usize, seed: u64) -> CsrGraph {
+    let mut w = weights(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as u32, i as u32, w());
+    }
+    b.build()
+}
+
+/// Cycle on `n >= 3` vertices. The MST drops exactly the heaviest edge.
+pub fn cycle(n: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut w = weights(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as u32, ((i + 1) % n) as u32, w());
+    }
+    b.build()
+}
+
+/// Star centred at vertex 0. Its MST is the star itself.
+pub fn star(n: usize, seed: u64) -> CsrGraph {
+    let mut w = weights(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i as u32, w());
+    }
+    b.build()
+}
+
+/// Complete graph K_n (dense stress case; maximises heap traffic in Prim).
+pub fn complete(n: usize, seed: u64) -> CsrGraph {
+    let mut w = weights(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            b.add_edge(i as u32, j as u32, w());
+        }
+    }
+    b.build()
+}
+
+/// Ladder: two parallel paths with rungs (2×`len` vertices).
+pub fn ladder(len: usize, seed: u64) -> CsrGraph {
+    let mut w = weights(seed);
+    let n = 2 * len;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..len {
+        if i + 1 < len {
+            b.add_edge(i as u32, (i + 1) as u32, w());
+            b.add_edge((len + i) as u32, (len + i + 1) as u32, w());
+        }
+        b.add_edge(i as u32, (len + i) as u32, w());
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path with `legs` pendant vertices per spine node.
+pub fn caterpillar(spine: usize, legs: usize, seed: u64) -> CsrGraph {
+    let mut w = weights(seed);
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for s in 0..spine {
+        if s + 1 < spine {
+            b.add_edge(s as u32, (s + 1) as u32, w());
+        }
+        for l in 0..legs {
+            let leg = spine + s * legs + l;
+            b.add_edge(s as u32, leg as u32, w());
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(10, 0);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(5), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(8, 0);
+        assert_eq!(g.num_edges(), 8);
+        assert!((0..8).all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6, 0);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(0), 5);
+        assert!((1..6).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(7, 0);
+        assert_eq!(g.num_edges(), 21);
+        assert!((0..7).all(|v| g.degree(v) == 6));
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let g = ladder(5, 0);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 4 + 4 + 5);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 3, 0);
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_edges(), 3 + 12);
+    }
+
+    #[test]
+    fn all_validate() {
+        for g in [
+            path(5, 1),
+            cycle(5, 1),
+            star(5, 1),
+            complete(5, 1),
+            ladder(3, 1),
+            caterpillar(3, 2, 1),
+        ] {
+            g.validate().unwrap();
+        }
+    }
+}

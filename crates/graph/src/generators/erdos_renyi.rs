@@ -1,0 +1,50 @@
+//! Erdős–Rényi G(n, m) random graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a G(n, m)-style random graph: `m` endpoint pairs sampled
+/// uniformly (duplicates and self-loops sanitised away, so the final edge
+/// count can be slightly below `m`). Weights uniform in `(0, 1)`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n < u32::MAX as usize, "n too large for VertexId");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    if n < 2 {
+        return builder.build();
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            builder.add_edge(u, v, rng.gen::<f64>());
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_approximately_m() {
+        let g = erdos_renyi(1000, 5000, 11);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() > 4500 && g.num_edges() <= 5000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(100, 300, 5), erdos_renyi(100, 300, 5));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(erdos_renyi(0, 10, 0).num_vertices(), 0);
+        assert_eq!(erdos_renyi(1, 10, 0).num_edges(), 0);
+    }
+}

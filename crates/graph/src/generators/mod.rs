@@ -1,0 +1,24 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on two dataset morphologies (Table I): a real road
+//! network (`USA-road-d.USA`, type *road*) and a Graph500 Kronecker graph
+//! (`graph500-s25-ef16`, type *scalefree*). We do not have the 24M-vertex
+//! datasets here, so [`road_network`] and [`rmat()`](fn@rmat) generate scale-parameterised
+//! graphs of the same morphology; [`erdos_renyi()`](fn@erdos_renyi), [`random_geometric`] and
+//! [`classic`] provide additional shapes for tests and ablations.
+//!
+//! All generators are seeded and deterministic.
+
+pub mod barabasi_albert;
+pub mod classic;
+pub mod erdos_renyi;
+pub mod geometric;
+pub mod rmat;
+pub mod road;
+
+pub use barabasi_albert::barabasi_albert;
+pub use classic::{caterpillar, complete, cycle, ladder, path, star};
+pub use erdos_renyi::erdos_renyi;
+pub use geometric::random_geometric;
+pub use rmat::{rmat, RmatParams};
+pub use road::{road_network, RoadParams};

@@ -1,0 +1,121 @@
+//! Fast little-endian binary graph format, for caching generated workloads.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   8 bytes  b"LLPGRAPH"
+//! version u32      1
+//! n       u64
+//! m       u64      undirected edge count
+//! m × (u: u32, v: u32, w: f64)
+//! ```
+
+use super::IoError;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"LLPGRAPH";
+const VERSION: u32 = 1;
+
+/// Writes the graph in binary form.
+pub fn write_binary<W: Write>(graph: &CsrGraph, mut w: W) -> std::io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    for e in graph.edges() {
+        w.write_all(&e.u.to_le_bytes())?;
+        w.write_all(&e.v.to_le_bytes())?;
+        w.write_all(&e.w.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a graph written by [`write_binary`].
+pub fn read_binary<R: Read>(mut r: R) -> Result<CsrGraph, IoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::Parse(0, "bad magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(IoError::Parse(0, format!("unsupported version {version}")));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let u = read_u32(&mut r)?;
+        let v = read_u32(&mut r)?;
+        let mut wb = [0u8; 8];
+        r.read_exact(&mut wb)?;
+        let w = f64::from_le_bytes(wb);
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(IoError::Parse(0, "endpoint out of range".into()));
+        }
+        if w.is_nan() {
+            return Err(IoError::Parse(0, "NaN weight".into()));
+        }
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi, road_network, RoadParams};
+
+    #[test]
+    fn round_trips() {
+        for g in [
+            erdos_renyi(100, 400, 1),
+            road_network(RoadParams::usa_like(10, 10, 2)),
+            CsrGraph::empty(5),
+        ] {
+            let mut buf = Vec::new();
+            write_binary(&g, &mut buf).unwrap();
+            let g2 = read_binary(buf.as_slice()).unwrap();
+            assert_eq!(g, g2);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOTAGRPH\x01\x00\x00\x00".to_vec();
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let g = erdos_renyi(20, 50, 3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Graph I/O.
+//!
+//! * [`dimacs`] — the 9th DIMACS Implementation Challenge `.gr` format the
+//!   paper's USA road dataset ships in. Drop the real `USA-road-d.USA.gr`
+//!   next to the benchmarks to reproduce on the authentic dataset.
+//! * [`metis`] — the METIS/ParMETIS adjacency format common in graph
+//!   repositories.
+//! * [`text`] — whitespace-separated `u v w` edge lists.
+//! * [`binary`] — a fast little-endian binary format for caching generated
+//!   workloads between benchmark runs.
+
+pub mod binary;
+pub mod dimacs;
+pub mod metis;
+pub mod text;
+
+pub use binary::{read_binary, write_binary};
+pub use dimacs::{read_dimacs, write_dimacs};
+pub use metis::{read_metis, write_metis};
+pub use text::{read_edge_list, write_edge_list};
+
+/// Errors produced by graph readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input violates the format (line number, message).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses a whitespace token shared by the text readers.
+pub(crate) fn parse_token<T: std::str::FromStr>(
+    tok: Option<&str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, IoError> {
+    let tok = tok.ok_or_else(|| IoError::Parse(lineno, format!("missing {what}")))?;
+    tok.parse()
+        .map_err(|_| IoError::Parse(lineno, format!("invalid {what}: '{tok}'")))
+}

@@ -1,0 +1,102 @@
+//! Plain text edge lists: one `u v w` triple per line, `#` comments.
+
+use super::IoError;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use std::io::{BufRead, Write};
+
+/// Reads an edge list with 0-based vertex ids. The vertex count is
+/// `max endpoint + 1` unless `min_vertices` demands more.
+pub fn read_edge_list<R: BufRead>(reader: R, min_vertices: usize) -> Result<CsrGraph, IoError> {
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    let mut max_v: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let u: u32 = super::parse_token(parts.next(), lineno, "source")?;
+        let v: u32 = super::parse_token(parts.next(), lineno, "target")?;
+        let w: f64 = match parts.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|_| IoError::Parse(lineno, format!("invalid weight '{tok}'")))?,
+            None => 1.0,
+        };
+        max_v = max_v.max(u as u64).max(v as u64);
+        edges.push((u, v, w));
+    }
+    let n = min_vertices.max(if edges.is_empty() {
+        0
+    } else {
+        max_v as usize + 1
+    });
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v, w) in edges {
+        if u != v {
+            b.add_edge(u, v, w);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Writes the graph as a `u v w` edge list (each undirected edge once).
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# llp-graph edge list: u v w (0-based)")?;
+    for e in graph.edges() {
+        writeln!(writer, "{} {} {}", e.u, e.v, e.w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+    use std::io::BufReader;
+
+    #[test]
+    fn reads_edges_with_weights() {
+        let src = "# comment\n0 1 2.5\n1 2 3.5\n";
+        let g = read_edge_list(BufReader::new(src.as_bytes()), 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn default_weight_is_one() {
+        let src = "0 1\n";
+        let g = read_edge_list(BufReader::new(src.as_bytes()), 0).unwrap();
+        assert_eq!(g.min_edge(0).unwrap().weight(), 1.0);
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated() {
+        let src = "0 1 1.0\n";
+        let g = read_edge_list(BufReader::new(src.as_bytes()), 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn round_trips() {
+        let g = erdos_renyi(40, 150, 9);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(BufReader::new(buf.as_slice()), g.num_vertices()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list(BufReader::new("".as_bytes()), 0).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_edge_list(BufReader::new("0 x 1\n".as_bytes()), 0).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Small named sample graphs used across tests, docs and examples.
+
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+
+/// The paper's Fig. 1 graph on vertices `a..e = 0..4`.
+///
+/// Edge set (reconstructed from the per-vertex choice table in §V.A and the
+/// worked Prim/Boruvka traces):
+///
+/// ```text
+/// (b,c)=3  (a,c)=4  (a,b)=5  (b,d)=7  (c,d)=9  (c,e)=11  (d,e)=2
+/// ```
+///
+/// Its unique MST is `{(d,e)=2, (b,c)=3, (a,c)=4, (b,d)=7}` with total
+/// weight 16 — the `{2, 3, 4, 7}` of the paper.
+pub fn fig1() -> CsrGraph {
+    CsrGraph::from_edges(
+        5,
+        &[
+            Edge::new(1, 2, 3.0),
+            Edge::new(0, 2, 4.0),
+            Edge::new(0, 1, 5.0),
+            Edge::new(1, 3, 7.0),
+            Edge::new(2, 3, 9.0),
+            Edge::new(2, 4, 11.0),
+            Edge::new(3, 4, 2.0),
+        ],
+    )
+}
+
+/// Total weight of [`fig1`]'s MST.
+pub const FIG1_MST_WEIGHT: f64 = 16.0;
+
+/// A two-component forest: a triangle `{0,1,2}` and an edge `{3,4}`, with
+/// vertex 5 isolated. MSF weight is 1+2+5 = 8.
+pub fn small_forest() -> CsrGraph {
+    CsrGraph::from_edges(
+        6,
+        &[
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 2.0),
+            Edge::new(0, 2, 3.0),
+            Edge::new(3, 4, 5.0),
+        ],
+    )
+}
+
+/// MSF weight of [`small_forest`].
+pub const SMALL_FOREST_MSF_WEIGHT: f64 = 8.0;
+
+/// A graph with deliberately duplicated raw weights, exercising the
+/// endpoint tie-breaking of [`crate::EdgeKey`]: all edges weigh 1.0.
+pub fn all_equal_weights(n: usize) -> CsrGraph {
+    let mut edges = Vec::new();
+    for i in 0..n as u32 {
+        for j in i + 1..n as u32 {
+            edges.push(Edge::new(i, j, 1.0));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::connectivity::connected_components;
+
+    #[test]
+    fn fig1_is_connected_with_7_edges() {
+        let g = fig1();
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(connected_components(&g).num_components, 1);
+    }
+
+    #[test]
+    fn small_forest_components() {
+        let c = connected_components(&small_forest());
+        assert_eq!(c.num_components, 3);
+    }
+
+    #[test]
+    fn all_equal_is_complete() {
+        let g = all_equal_weights(5);
+        assert_eq!(g.num_edges(), 10);
+    }
+}

@@ -1,0 +1,172 @@
+//! Graph transformations.
+//!
+//! Used by property tests (MST invariance under relabelling), ablations
+//! (weight-distribution sensitivity) and workload preparation (extracting
+//! subgraphs).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::{VertexId, NO_VERTEX};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Relabels vertices by the given permutation: vertex `v` becomes
+/// `perm[v]`. The MST is equivariant under this map, which the property
+/// tests exploit.
+///
+/// # Panics
+/// Panics unless `perm` is a permutation of `0..n`.
+pub fn permute_vertices(graph: &CsrGraph, perm: &[VertexId]) -> CsrGraph {
+    let n = graph.num_vertices();
+    assert_eq!(perm.len(), n, "permutation must cover every vertex");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(
+            (p as usize) < n && !seen[p as usize],
+            "not a permutation of 0..n"
+        );
+        seen[p as usize] = true;
+    }
+    let mut b = GraphBuilder::with_capacity(n, graph.num_edges());
+    for e in graph.edges() {
+        b.add_edge(perm[e.u as usize], perm[e.v as usize], e.w);
+    }
+    b.build()
+}
+
+/// A uniformly random permutation of `0..n`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    perm.shuffle(&mut rng);
+    perm
+}
+
+/// Replaces every weight with a fresh uniform sample in `(0, 1)`.
+pub fn reweight_uniform(graph: &CsrGraph, seed: u64) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(graph.num_vertices(), graph.num_edges());
+    for e in graph.edges() {
+        b.add_edge(e.u, e.v, rng.gen::<f64>() + f64::MIN_POSITIVE);
+    }
+    b.build()
+}
+
+/// Applies a monotone transform to every weight. Monotone transforms
+/// preserve the MST edge set exactly (the classic invariance), which the
+/// property tests assert.
+pub fn map_weights<F: Fn(f64) -> f64>(graph: &CsrGraph, f: F) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(graph.num_vertices(), graph.num_edges());
+    for e in graph.edges() {
+        b.add_edge(e.u, e.v, f(e.w));
+    }
+    b.build()
+}
+
+/// The subgraph induced by `keep`, with vertices renumbered densely in
+/// increasing original-id order. Returns the new graph and the mapping
+/// from old ids to new (or [`NO_VERTEX`] for dropped vertices).
+pub fn induced_subgraph<F: Fn(VertexId) -> bool>(
+    graph: &CsrGraph,
+    keep: F,
+) -> (CsrGraph, Vec<VertexId>) {
+    let n = graph.num_vertices();
+    let mut new_id = vec![NO_VERTEX; n];
+    let mut next = 0 as VertexId;
+    for v in 0..n as VertexId {
+        if keep(v) {
+            new_id[v as usize] = next;
+            next += 1;
+        }
+    }
+    let mut b = GraphBuilder::new(next as usize);
+    for e in graph.edges() {
+        let (nu, nv) = (new_id[e.u as usize], new_id[e.v as usize]);
+        if nu != NO_VERTEX && nv != NO_VERTEX {
+            b.add_edge(nu, nv, e.w);
+        }
+    }
+    (b.build(), new_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+    use crate::samples::fig1;
+
+    #[test]
+    fn identity_permutation_preserves_edge_set() {
+        // The builder may reorder adjacency lists, so compare canonical
+        // edge keys rather than raw CSR layout.
+        let g = fig1();
+        let perm: Vec<u32> = (0..5).collect();
+        let p = permute_vertices(&g, &perm);
+        let mut a: Vec<_> = g.edges().map(|e| e.key()).collect();
+        let mut b: Vec<_> = p.edges().map(|e| e.key()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permutation_preserves_shape() {
+        let g = erdos_renyi(50, 200, 1);
+        let perm = random_permutation(50, 9);
+        let p = permute_vertices(&g, &perm);
+        assert_eq!(p.num_vertices(), g.num_vertices());
+        assert_eq!(p.num_edges(), g.num_edges());
+        // Degrees are permuted, not changed.
+        let mut d1: Vec<usize> = (0..50).map(|v| g.degree(v)).collect();
+        let mut d2: Vec<usize> = (0..50).map(|v| p.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_permutation_rejected() {
+        let g = fig1();
+        let _ = permute_vertices(&g, &[0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reweight_changes_weights_only() {
+        let g = erdos_renyi(30, 100, 2);
+        let r = reweight_uniform(&g, 7);
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert!(r.edges().zip(g.edges()).all(|(a, b)| {
+            a.u == b.u && a.v == b.v
+        }));
+    }
+
+    #[test]
+    fn map_weights_applies_function() {
+        let g = fig1();
+        let doubled = map_weights(&g, |w| 2.0 * w);
+        assert_eq!(doubled.total_weight(), 2.0 * g.total_weight());
+    }
+
+    #[test]
+    fn induced_subgraph_drops_and_renumbers() {
+        let g = fig1();
+        // Keep {a, b, c} = {0, 1, 2}: triangle with edges 3, 4, 5.
+        let (sub, map) = induced_subgraph(&g, |v| v < 3);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(map[0], 0);
+        assert_eq!(map[4], crate::NO_VERTEX);
+        let mut ws: Vec<f64> = sub.edges().map(|e| e.w).collect();
+        ws.sort_by(f64::total_cmp);
+        assert_eq!(ws, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_induced_subgraph() {
+        let g = fig1();
+        let (sub, _) = induced_subgraph(&g, |_| false);
+        assert_eq!(sub.num_vertices(), 0);
+    }
+}

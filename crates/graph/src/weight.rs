@@ -1,0 +1,156 @@
+//! Edge weights and the canonical unique-weight total order.
+
+use crate::VertexId;
+
+/// Edge weight type. Finite, non-NaN `f64`; DIMACS integer weights are
+/// represented exactly (road weights fit in 32 bits).
+pub type Weight = f64;
+
+/// Order-preserving bit encoding of a weight, reexported from the runtime so
+/// graph code does not need a second copy.
+pub use llp_runtime::atomics::{f64_to_ordered, ordered_to_f64};
+
+/// A strict total order over undirected edges: weight first, then the
+/// smaller endpoint, then the larger endpoint.
+///
+/// This realises the paper's assumption of distinct edge weights on
+/// arbitrary inputs: two *distinct* edges of a simple graph always differ in
+/// their endpoint pair, so `EdgeKey`s never tie even when raw weights do.
+/// All MST algorithms in this workspace compare edges exclusively through
+/// `EdgeKey`, making the MST/MSF unique and the algorithms' outputs
+/// bit-for-bit comparable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EdgeKey {
+    /// Order-preserving encoding of the weight.
+    wbits: u64,
+    /// Smaller endpoint.
+    lo: VertexId,
+    /// Larger endpoint.
+    hi: VertexId,
+}
+
+impl EdgeKey {
+    /// Key for the edge `{u, v}` with weight `w`.
+    ///
+    /// # Panics
+    /// Panics (debug) on NaN weights; NaN has no place in a metric.
+    #[inline]
+    pub fn new(w: Weight, u: VertexId, v: VertexId) -> Self {
+        debug_assert!(!w.is_nan(), "edge weights must not be NaN");
+        let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+        EdgeKey {
+            wbits: f64_to_ordered(w),
+            lo,
+            hi,
+        }
+    }
+
+    /// The maximum possible key; compares greater than every real edge.
+    #[inline]
+    pub fn infinite() -> Self {
+        EdgeKey {
+            wbits: u64::MAX,
+            lo: VertexId::MAX,
+            hi: VertexId::MAX,
+        }
+    }
+
+    /// The weight this key encodes.
+    #[inline]
+    pub fn weight(&self) -> Weight {
+        ordered_to_f64(self.wbits)
+    }
+
+    /// Smaller endpoint.
+    #[inline]
+    pub fn lo(&self) -> VertexId {
+        self.lo
+    }
+
+    /// Larger endpoint.
+    #[inline]
+    pub fn hi(&self) -> VertexId {
+        self.hi
+    }
+
+    /// The endpoint that is not `v`.
+    ///
+    /// # Panics
+    /// Panics (debug) when `v` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, v: VertexId) -> VertexId {
+        debug_assert!(v == self.lo || v == self.hi);
+        if v == self.lo {
+            self.hi
+        } else {
+            self.lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_is_canonical() {
+        assert_eq!(EdgeKey::new(1.0, 3, 7), EdgeKey::new(1.0, 7, 3));
+    }
+
+    #[test]
+    fn weight_dominates_order() {
+        assert!(EdgeKey::new(1.0, 9, 10) < EdgeKey::new(2.0, 0, 1));
+    }
+
+    #[test]
+    fn ties_broken_by_endpoints() {
+        let a = EdgeKey::new(5.0, 0, 1);
+        let b = EdgeKey::new(5.0, 0, 2);
+        let c = EdgeKey::new(5.0, 1, 2);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn distinct_edges_never_tie() {
+        let keys = [
+            EdgeKey::new(1.0, 0, 1),
+            EdgeKey::new(1.0, 0, 2),
+            EdgeKey::new(1.0, 1, 2),
+            EdgeKey::new(1.0, 2, 3),
+        ];
+        for i in 0..keys.len() {
+            for j in 0..keys.len() {
+                if i != j {
+                    assert_ne!(keys[i], keys[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_beats_everything() {
+        let inf = EdgeKey::infinite();
+        assert!(EdgeKey::new(f64::MAX, 0, 1) < inf);
+        assert!(EdgeKey::new(1e308, u32::MAX - 2, u32::MAX - 1) < inf);
+    }
+
+    #[test]
+    fn weight_round_trips() {
+        for w in [0.0, 0.5, 1.0, 123.456, 1e9] {
+            assert_eq!(EdgeKey::new(w, 0, 1).weight(), w);
+        }
+    }
+
+    #[test]
+    fn other_returns_opposite_endpoint() {
+        let k = EdgeKey::new(1.0, 4, 9);
+        assert_eq!(k.other(4), 9);
+        assert_eq!(k.other(9), 4);
+    }
+
+    #[test]
+    fn negative_weights_sort_below_positive() {
+        assert!(EdgeKey::new(-2.0, 0, 1) < EdgeKey::new(-1.0, 0, 1));
+        assert!(EdgeKey::new(-1.0, 0, 1) < EdgeKey::new(0.0, 0, 1));
+    }
+}

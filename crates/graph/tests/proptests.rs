@@ -1,0 +1,209 @@
+//! Property tests for the graph substrate: builders, CSR invariants,
+//! generators and I/O round-trips on arbitrary inputs.
+
+use llp_graph::generators::{erdos_renyi, road_network, RoadParams};
+use llp_graph::io::{read_binary, read_dimacs, write_binary, write_dimacs};
+use llp_graph::{CsrGraph, Edge, EdgeKey, GraphBuilder};
+use llp_runtime::ThreadPool;
+use proptest::prelude::*;
+
+fn arb_raw_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32, f64)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n, 0u32..100), 0..max_m)
+                .prop_map(|v| v.into_iter().map(|(u, w, x)| (u, w, x as f64)).collect()),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn builder_always_produces_valid_simple_graphs((n, raw) in arb_raw_edges(50, 400)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for &(u, v, w) in &raw {
+            if u != v {
+                b.add_edge(u, v, w);
+            }
+        }
+        let g = b.build();
+        prop_assert!(g.validate().is_ok());
+        // Simple graph: no duplicate neighbour entries.
+        for v in 0..n {
+            let mut ts: Vec<u32> = g.neighbors(v).map(|(t, _)| t).collect();
+            let before = ts.len();
+            ts.sort_unstable();
+            ts.dedup();
+            prop_assert_eq!(ts.len(), before, "vertex {} has parallel arcs", v);
+        }
+    }
+
+    #[test]
+    fn builder_keeps_minimum_of_parallel_edges((n, raw) in arb_raw_edges(20, 200)) {
+        let mut b = GraphBuilder::new(n as usize);
+        let mut best = std::collections::HashMap::new();
+        for &(u, v, w) in &raw {
+            if u != v {
+                b.add_edge(u, v, w);
+                let key = (u.min(v), u.max(v));
+                let e = best.entry(key).or_insert(w);
+                if w < *e {
+                    *e = w;
+                }
+            }
+        }
+        let g = b.build();
+        prop_assert_eq!(g.num_edges(), best.len());
+        for e in g.edges() {
+            prop_assert_eq!(e.w, best[&e.canonical_endpoints()]);
+        }
+    }
+
+    #[test]
+    fn csr_edges_round_trip((n, raw) in arb_raw_edges(40, 300)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for &(u, v, w) in &raw {
+            if u != v {
+                b.add_edge(u, v, w);
+            }
+        }
+        let g = b.build();
+        // edges() -> from_edges reproduces the same graph.
+        let edges: Vec<Edge> = g.edges().collect();
+        let g2 = CsrGraph::from_edges(n as usize, &edges);
+        let mut k1: Vec<EdgeKey> = g.edges().map(|e| e.key()).collect();
+        let mut k2: Vec<EdgeKey> = g2.edges().map(|e| e.key()).collect();
+        k1.sort_unstable();
+        k2.sort_unstable();
+        prop_assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn parallel_csr_equals_sequential((n, raw) in arb_raw_edges(40, 300), threads in 1usize..5) {
+        let mut b = GraphBuilder::new(n as usize);
+        for &(u, v, w) in &raw {
+            if u != v {
+                b.add_edge(u, v, w);
+            }
+        }
+        let g = b.build();
+        let edges: Vec<Edge> = g.edges().collect();
+        let pool = ThreadPool::new(threads);
+        let p = CsrGraph::from_edges_parallel(&pool, n as usize, &edges);
+        prop_assert!(p.validate().is_ok());
+        prop_assert_eq!(p.compute_mwe(&pool), g.compute_mwe(&pool));
+    }
+
+    #[test]
+    fn binary_io_round_trips_any_graph((n, raw) in arb_raw_edges(30, 200)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for &(u, v, w) in &raw {
+            if u != v {
+                b.add_edge(u, v, w);
+            }
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn dimacs_io_round_trips_integer_weights(n in 2u32..30, m in 0usize..150, seed in 0u64..100) {
+        // DIMACS prints decimal weights; integers survive exactly.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n as usize);
+        for _ in 0..m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_edge(u, v, rng.gen_range(1..1000) as f64);
+            }
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let g2 = read_dimacs(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_key_total_order_is_strict_on_distinct_edges((n, raw) in arb_raw_edges(20, 100)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for &(u, v, w) in &raw {
+            if u != v {
+                b.add_edge(u, v, w);
+            }
+        }
+        let g = b.build();
+        let keys: Vec<EdgeKey> = g.edges().map(|e| e.key()).collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                prop_assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn er_generator_is_deterministic_and_valid(n in 2usize..200, m in 0usize..600, seed in 0u64..50) {
+        let a = erdos_renyi(n, m, seed);
+        let b = erdos_renyi(n, m, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.validate().is_ok());
+        prop_assert!(a.num_edges() <= m);
+    }
+
+    #[test]
+    fn road_generator_always_connected(rows in 1usize..20, cols in 1usize..20, seed in 0u64..20) {
+        let g = road_network(RoadParams::usa_like(rows, cols, seed));
+        prop_assert_eq!(g.num_vertices(), rows * cols);
+        prop_assert!(llp_graph::algo::is_connected(&g));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Robustness: the text readers must never panic on arbitrary input —
+    /// they return `Err` for anything malformed.
+    #[test]
+    fn dimacs_reader_never_panics(junk in proptest::collection::vec(proptest::num::u8::ANY, 0..400)) {
+        let _ = read_dimacs(std::io::BufReader::new(junk.as_slice()));
+    }
+
+    #[test]
+    fn metis_reader_never_panics(junk in proptest::collection::vec(proptest::num::u8::ANY, 0..400)) {
+        let _ = llp_graph::io::read_metis(std::io::BufReader::new(junk.as_slice()));
+    }
+
+    #[test]
+    fn edge_list_reader_never_panics(junk in "[ -~\n]{0,300}") {
+        let _ = llp_graph::io::read_edge_list(std::io::BufReader::new(junk.as_bytes()), 0);
+    }
+
+    #[test]
+    fn binary_reader_never_panics(junk in proptest::collection::vec(proptest::num::u8::ANY, 0..400)) {
+        let _ = read_binary(junk.as_slice());
+    }
+
+    #[test]
+    fn metis_round_trips((n, raw) in arb_raw_edges(25, 150)) {
+        use llp_graph::io::{read_metis, write_metis};
+        let mut b = GraphBuilder::new(n as usize);
+        for &(u, v, w) in &raw {
+            if u != v {
+                b.add_edge(u, v, w);
+            }
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,14 @@
+//! Classic LLP problem instances.
+//!
+//! These are the instantiations the LLP literature (cited in the paper's
+//! §III) uses to demonstrate the framework; here they double as framework
+//! validation: each instance's solver output is checked against an
+//! independent classical algorithm in its tests.
+
+pub mod pointer_jump;
+pub mod shortest_paths;
+pub mod stable_marriage;
+
+pub use pointer_jump::PointerJump;
+pub use shortest_paths::ShortestPaths;
+pub use stable_marriage::StableMarriage;

@@ -1,0 +1,199 @@
+//! Single-source shortest paths as LLP predicate detection.
+//!
+//! The lattice is the vectors of tentative distances `G[j] ≥ 0`. The
+//! predicate is
+//!
+//! ```text
+//! B(G) ≡ ∀ j ≠ s :  G[j] ≥ min over in-edges (i,j) of (G[i] + w(i,j))
+//! ```
+//!
+//! i.e. every vertex's distance is *justified* by some in-neighbour. The
+//! least vector satisfying `B` with `G[s] = 0` is the shortest-path vector
+//! (Bellman-Ford / Dijkstra both compute it; LLP derives both, per the SPAA
+//! 2020 paper the MST paper cites). `forbidden(j)` holds when `G[j]` is
+//! smaller than its justification; `advance` lifts it to the justification.
+//! Requires non-negative weights (so the bottom vector 0 is below the
+//! solution).
+
+use crate::problem::LlpProblem;
+
+/// Shortest-path LLP instance over a directed graph given as in-edge lists.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: usize,
+    /// `in_edges[j]` lists `(i, w)` for every directed edge `i -> j`.
+    in_edges: Vec<Vec<(usize, f64)>>,
+    /// `out_edges[i]` lists the targets of `i`'s outgoing edges — the
+    /// dependents of `i` for the worklist solver.
+    out_edges: Vec<Vec<usize>>,
+}
+
+impl ShortestPaths {
+    /// Builds the instance from directed `(u, v, w)` triples, `w >= 0`.
+    ///
+    /// # Panics
+    /// Panics on negative or NaN weights or out-of-range endpoints.
+    pub fn new(n: usize, edges: &[(usize, usize, f64)], source: usize) -> Self {
+        assert!(source < n, "source out of range");
+        let mut in_edges = vec![Vec::new(); n];
+        let mut out_edges = vec![Vec::new(); n];
+        for &(u, v, w) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range");
+            assert!(w >= 0.0, "weights must be non-negative, got {w}");
+            in_edges[v].push((u, w));
+            out_edges[u].push(v);
+        }
+        ShortestPaths {
+            source,
+            in_edges,
+            out_edges,
+        }
+    }
+
+    /// Treats undirected `(u, v, w)` pairs as two directed edges.
+    pub fn from_undirected(n: usize, edges: &[(usize, usize, f64)], source: usize) -> Self {
+        let mut directed = Vec::with_capacity(edges.len() * 2);
+        for &(u, v, w) in edges {
+            directed.push((u, v, w));
+            directed.push((v, u, w));
+        }
+        Self::new(n, &directed, source)
+    }
+
+    /// The justification of `j`: the least `G[i] + w(i,j)` over in-edges.
+    fn justification(&self, g: &[f64], j: usize) -> f64 {
+        self.in_edges[j]
+            .iter()
+            .map(|&(i, w)| g[i] + w)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl LlpProblem for ShortestPaths {
+    type State = f64;
+
+    fn num_indices(&self) -> usize {
+        self.in_edges.len()
+    }
+
+    fn bottom(&self, _j: usize) -> f64 {
+        0.0
+    }
+
+    fn forbidden(&self, g: &[f64], j: usize) -> bool {
+        j != self.source && g[j] < self.justification(g, j)
+    }
+
+    fn advance(&self, g: &[f64], j: usize) -> Option<f64> {
+        // ∞ is a legal lattice top here: unreachable vertices settle at ∞.
+        Some(self.justification(g, j))
+    }
+
+    fn name(&self) -> &str {
+        "llp-shortest-paths"
+    }
+
+    fn dependents(&self, j: usize) -> Option<Vec<usize>> {
+        Some(self.out_edges[j].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_parallel, solve_sequential};
+    use llp_runtime::ThreadPool;
+
+    /// Reference Bellman-Ford for cross-checking.
+    fn bellman_ford(n: usize, edges: &[(usize, usize, f64)], s: usize) -> Vec<f64> {
+        let mut d = vec![f64::INFINITY; n];
+        d[s] = 0.0;
+        for _ in 0..n {
+            for &(u, v, w) in edges {
+                if d[u] + w < d[v] {
+                    d[v] = d[u] + w;
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn matches_bellman_ford_on_small_graph() {
+        let edges = [
+            (0, 1, 4.0),
+            (0, 2, 1.0),
+            (2, 1, 2.0),
+            (1, 3, 1.0),
+            (2, 3, 5.0),
+        ];
+        let p = ShortestPaths::new(4, &edges, 0);
+        let sol = solve_sequential(&p).unwrap();
+        assert_eq!(sol.state, bellman_ford(4, &edges, 0));
+        assert_eq!(sol.state, vec![0.0, 3.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn unreachable_vertices_settle_at_infinity() {
+        let edges = [(0, 1, 1.0)];
+        let p = ShortestPaths::new(3, &edges, 0);
+        let sol = solve_sequential(&p).unwrap();
+        assert_eq!(sol.state[2], f64::INFINITY);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let pool = ThreadPool::new(4);
+        for seed in 0..5 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = 40;
+            let edges: Vec<(usize, usize, f64)> = (0..200)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..n),
+                        rng.gen_range(0.0..10.0),
+                    )
+                })
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let p = ShortestPaths::new(n, &edges, 0);
+            let seq = solve_sequential(&p).unwrap();
+            let par = solve_parallel(&p, &pool).unwrap();
+            assert_eq!(seq.state, par.state, "seed {seed}");
+            assert_eq!(seq.state, bellman_ford(n, &edges, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chaotic_worklist_matches_and_prunes() {
+        use crate::solver::solve_chaotic;
+        let edges = [
+            (0, 1, 4.0),
+            (0, 2, 1.0),
+            (2, 1, 2.0),
+            (1, 3, 1.0),
+            (2, 3, 5.0),
+        ];
+        let p = ShortestPaths::new(4, &edges, 0);
+        let cha = solve_chaotic(&p).unwrap();
+        assert_eq!(cha.state, bellman_ford(4, &edges, 0));
+        let seq = solve_sequential(&p).unwrap();
+        assert_eq!(cha.state, seq.state);
+    }
+
+    #[test]
+    fn undirected_helper_symmetrises() {
+        let p = ShortestPaths::from_undirected(3, &[(0, 1, 2.0), (1, 2, 3.0)], 2);
+        let sol = solve_sequential(&p).unwrap();
+        assert_eq!(sol.state, vec![5.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weights() {
+        let _ = ShortestPaths::new(2, &[(0, 1, -1.0)], 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Stable marriage (Gale–Shapley) as LLP predicate detection.
+//!
+//! The lattice for proposer `m` is the index `G[m]` into m's preference
+//! list (0 = favourite). The predicate is stability of the induced
+//! assignment. Proposer `m` is *forbidden* when the candidate `w` it
+//! currently points at is also pointed at by a rival `m'` whom `w` strictly
+//! prefers — then no stable matching can keep `m` at `G[m]`, so `m`
+//! advances to the next entry. The least feasible vector is the
+//! proposer-optimal stable matching, matching Gale–Shapley's output.
+
+use crate::problem::LlpProblem;
+
+/// A stable-marriage LLP instance with `n` proposers and `n` candidates.
+#[derive(Debug, Clone)]
+pub struct StableMarriage {
+    /// `pref[m][k]` = the k-th choice candidate of proposer `m`.
+    pref: Vec<Vec<usize>>,
+    /// `rank[w][m]` = candidate w's rank of proposer m (lower = better).
+    rank: Vec<Vec<usize>>,
+}
+
+impl StableMarriage {
+    /// Builds an instance from complete preference lists.
+    ///
+    /// # Panics
+    /// Panics unless both sides have `n` complete permutations of `0..n`.
+    pub fn new(proposer_prefs: Vec<Vec<usize>>, candidate_prefs: Vec<Vec<usize>>) -> Self {
+        let n = proposer_prefs.len();
+        assert_eq!(candidate_prefs.len(), n, "sides must have equal size");
+        for p in proposer_prefs.iter().chain(candidate_prefs.iter()) {
+            assert_eq!(p.len(), n, "preference lists must be complete");
+            let mut seen = vec![false; n];
+            for &x in p {
+                assert!(x < n && !seen[x], "preference list must be a permutation");
+                seen[x] = true;
+            }
+        }
+        let mut rank = vec![vec![0usize; n]; n];
+        for (w, prefs) in candidate_prefs.iter().enumerate() {
+            for (r, &m) in prefs.iter().enumerate() {
+                rank[w][m] = r;
+            }
+        }
+        StableMarriage {
+            pref: proposer_prefs,
+            rank,
+        }
+    }
+
+    /// The candidate proposer `m` points at in state `g`.
+    pub fn candidate_of(&self, g: &[usize], m: usize) -> usize {
+        self.pref[m][g[m]]
+    }
+
+    /// Extracts the matching `proposer -> candidate` from a solved state.
+    pub fn matching(&self, g: &[usize]) -> Vec<usize> {
+        (0..self.pref.len()).map(|m| self.candidate_of(g, m)).collect()
+    }
+
+    fn n(&self) -> usize {
+        self.pref.len()
+    }
+}
+
+impl LlpProblem for StableMarriage {
+    type State = usize;
+
+    fn num_indices(&self) -> usize {
+        self.n()
+    }
+
+    fn bottom(&self, _j: usize) -> usize {
+        0
+    }
+
+    fn forbidden(&self, g: &[usize], m: usize) -> bool {
+        let w = self.candidate_of(g, m);
+        // m is forbidden iff some rival pointing at w is preferred by w.
+        (0..self.n()).any(|m2| {
+            m2 != m && self.candidate_of(g, m2) == w && self.rank[w][m2] < self.rank[w][m]
+        })
+    }
+
+    fn advance(&self, g: &[usize], m: usize) -> Option<usize> {
+        let next = g[m] + 1;
+        (next < self.n()).then_some(next)
+    }
+
+    fn name(&self) -> &str {
+        "llp-stable-marriage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_parallel, solve_sequential};
+    use llp_runtime::ThreadPool;
+
+    /// Checks a matching for stability directly from the definitions.
+    fn is_stable(sm: &StableMarriage, matching: &[usize]) -> bool {
+        let n = matching.len();
+        // invert: candidate -> proposer
+        let mut holder = vec![usize::MAX; n];
+        for (m, &w) in matching.iter().enumerate() {
+            if holder[w] != usize::MAX {
+                return false; // not a matching
+            }
+            holder[w] = m;
+        }
+        // no blocking pair (m, w): m prefers w over his match AND w prefers
+        // m over her holder.
+        for (m, &mw) in matching.iter().enumerate() {
+            let m_rank_of = |w: usize| sm.pref[m].iter().position(|&x| x == w).unwrap();
+            for (w, &holder_of_w) in holder.iter().enumerate() {
+                if w != mw
+                    && m_rank_of(w) < m_rank_of(mw)
+                    && sm.rank[w][m] < sm.rank[w][holder_of_w]
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Textbook Gale–Shapley for cross-checking proposer-optimality.
+    fn gale_shapley(sm: &StableMarriage) -> Vec<usize> {
+        let n = sm.pref.len();
+        let mut next = vec![0usize; n];
+        let mut holder = vec![usize::MAX; n]; // candidate -> proposer
+        let mut free: Vec<usize> = (0..n).rev().collect();
+        while let Some(m) = free.pop() {
+            let w = sm.pref[m][next[m]];
+            next[m] += 1;
+            if holder[w] == usize::MAX {
+                holder[w] = m;
+            } else if sm.rank[w][m] < sm.rank[w][holder[w]] {
+                free.push(holder[w]);
+                holder[w] = m;
+            } else {
+                free.push(m);
+            }
+        }
+        let mut matching = vec![0usize; n];
+        for (w, &m) in holder.iter().enumerate() {
+            matching[m] = w;
+        }
+        matching
+    }
+
+    fn random_instance(n: usize, seed: u64) -> StableMarriage {
+        use rand::rngs::SmallRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let perm = |rng: &mut SmallRng| {
+            let mut v: Vec<usize> = (0..n).collect();
+            v.shuffle(rng);
+            v
+        };
+        StableMarriage::new(
+            (0..n).map(|_| perm(&mut rng)).collect(),
+            (0..n).map(|_| perm(&mut rng)).collect(),
+        )
+    }
+
+    #[test]
+    fn three_by_three_textbook_case() {
+        let sm = StableMarriage::new(
+            vec![vec![0, 1, 2], vec![1, 0, 2], vec![0, 1, 2]],
+            vec![vec![1, 0, 2], vec![0, 1, 2], vec![0, 1, 2]],
+        );
+        let sol = solve_sequential(&sm).unwrap();
+        let matching = sm.matching(&sol.state);
+        assert!(is_stable(&sm, &matching));
+        assert_eq!(matching, gale_shapley(&sm));
+    }
+
+    #[test]
+    fn random_instances_are_stable_and_proposer_optimal() {
+        for seed in 0..8 {
+            let sm = random_instance(12, seed);
+            let sol = solve_sequential(&sm).unwrap();
+            let matching = sm.matching(&sol.state);
+            assert!(is_stable(&sm, &matching), "seed {seed}");
+            assert_eq!(matching, gale_shapley(&sm), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        for seed in 0..4 {
+            let sm = random_instance(10, 100 + seed);
+            let seq = solve_sequential(&sm).unwrap();
+            let par = solve_parallel(&sm, &pool).unwrap();
+            assert_eq!(seq.state, par.state, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn identity_preferences_match_identically() {
+        let idx: Vec<Vec<usize>> = (0..5).map(|_| (0..5).collect()).collect();
+        // All proposers want candidate 0 first, etc.; candidates rank
+        // proposer 0 first. Proposer 0 gets candidate 0, proposer 1 is
+        // bumped to 1, and so on.
+        let sm = StableMarriage::new(idx.clone(), idx);
+        let sol = solve_sequential(&sm).unwrap();
+        assert_eq!(sm.matching(&sol.state), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_malformed_preferences() {
+        let _ = StableMarriage::new(
+            vec![vec![0, 0], vec![0, 1]],
+            vec![vec![0, 1], vec![1, 0]],
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # llp-core — the Lattice Linear Predicate detection framework
+//!
+//! The paper (§II) frames combinatorial optimisation as *predicate
+//! detection*: find the minimum vector `G` in a distributive lattice `L`
+//! that satisfies a boolean predicate `B`. When `B` is **lattice-linear**,
+//! any infeasible `G` contains a *forbidden* index `j`, and `G` can only
+//! become feasible by *advancing* `G[j]`. Algorithm 1 of the paper then
+//! finds the least feasible vector by repeatedly advancing all forbidden
+//! indices — in any order, sequentially or in parallel — which is exactly
+//! what [`solve_sequential`] and [`solve_parallel`] implement.
+//!
+//! [`problem::LlpProblem`] captures a problem instance as the triple
+//! `(bottom, forbidden, advance)`. Three classic instances from the LLP
+//! literature ship in [`instances`]:
+//!
+//! * [`instances::shortest_paths`] — Bellman-Ford-style single-source
+//!   shortest paths (cited in §III as prior LLP work),
+//! * [`instances::stable_marriage`] — Gale–Shapley as predicate detection,
+//! * [`instances::pointer_jump`] — rooted-tree → rooted-star conversion,
+//!   the inner LLP instance of the paper's LLP-Boruvka (Lemma 3/4).
+//!
+//! The MST algorithms themselves live in the `llp-mst` crate; `llp-mst`'s
+//! `spec` module runs the paper's Algorithm 4 (LLP-Prim) literally through
+//! this solver as an executable specification.
+
+pub mod instances;
+pub mod problem;
+pub mod solver;
+
+pub use problem::LlpProblem;
+pub use solver::{solve_chaotic, solve_parallel, solve_sequential, LlpError, LlpSolution, LlpStats};

@@ -1,0 +1,276 @@
+//! Atomic utilities for weight relaxation and priority writes.
+//!
+//! The MST algorithms need two lock-free idioms the standard library does
+//! not provide directly:
+//!
+//! 1. **atomic `f64` min** — LLP-Prim relaxes tentative distances
+//!    concurrently (`d[k] = min(d[k], w)`), and
+//! 2. **atomic min-by-key over indices** — parallel Boruvka's
+//!    minimum-weight-edge selection writes the *index* of the best edge per
+//!    vertex/component, comparing by the edge's weight key (GBBS calls this
+//!    a `priority_write`).
+//!
+//! Both are built on compare-exchange loops over `AtomicU64`, using an
+//! order-preserving bijection between `f64` and `u64`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Order-preserving encoding of an `f64` into a `u64`.
+///
+/// For any finite floats `a <= b`, `f64_to_ordered(a) <= f64_to_ordered(b)`.
+/// Non-negative floats map monotonically via their IEEE-754 bits; negative
+/// floats have all bits flipped so they sort below the positives.
+#[inline]
+pub fn f64_to_ordered(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits & (1 << 63) == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`f64_to_ordered`].
+#[inline]
+pub fn ordered_to_f64(bits: u64) -> f64 {
+    if bits & (1 << 63) != 0 {
+        f64::from_bits(bits & !(1 << 63))
+    } else {
+        f64::from_bits(!bits)
+    }
+}
+
+/// An `f64` with atomic load/store/fetch-min, stored order-preservingly.
+///
+/// `fetch_min` is the only read-modify-write operation exposed because it is
+/// the only one the algorithms need; keeping the encoding monotone lets the
+/// CAS loop compare raw `u64`s.
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// Creates a new atomic holding `value`.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        AtomicF64 {
+            bits: AtomicU64::new(f64_to_ordered(value)),
+        }
+    }
+
+    /// Loads the current value.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> f64 {
+        ordered_to_f64(self.bits.load(order))
+    }
+
+    /// Stores `value`.
+    #[inline]
+    pub fn store(&self, value: f64, order: Ordering) {
+        self.bits.store(f64_to_ordered(value), order);
+    }
+
+    /// Atomically lowers the stored value to `min(current, value)`.
+    ///
+    /// Returns `true` when `value` strictly lowered the stored value.
+    #[inline]
+    pub fn fetch_min(&self, value: f64, order: Ordering) -> bool {
+        let new = f64_to_ordered(value);
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while new < cur {
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, order, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+        false
+    }
+}
+
+impl std::fmt::Debug for AtomicF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicF64({})", self.load(Ordering::Relaxed))
+    }
+}
+
+/// Sentinel meaning "no index written yet" in [`AtomicIndexMin`].
+pub const NO_INDEX: u64 = u64::MAX;
+
+/// Atomic "argmin" cell: stores the index whose key is smallest so far.
+///
+/// This is the GBBS `priority_write` idiom: concurrent writers propose
+/// indices, the cell keeps whichever index has the smallest key under the
+/// caller-supplied key function. The key function must be pure for the
+/// duration of the operation (in MST use it reads immutable edge weights).
+pub struct AtomicIndexMin {
+    idx: AtomicU64,
+}
+
+impl Default for AtomicIndexMin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicIndexMin {
+    /// Creates an empty cell ([`NO_INDEX`]).
+    #[inline]
+    pub fn new() -> Self {
+        AtomicIndexMin {
+            idx: AtomicU64::new(NO_INDEX),
+        }
+    }
+
+    /// Loads the current winning index, or [`NO_INDEX`] if none.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.idx.load(order)
+    }
+
+    /// Resets the cell to empty.
+    #[inline]
+    pub fn reset(&self) {
+        self.idx.store(NO_INDEX, Ordering::Relaxed);
+    }
+
+    /// Proposes `candidate`; keeps whichever of {current, candidate} has the
+    /// smaller `key`. Returns `true` if `candidate` won.
+    ///
+    /// Ties must be impossible (the MST crates compare by a strict total
+    /// order over edges); equal keys keep the incumbent.
+    pub fn propose_min_by<K, F>(&self, candidate: u64, key: F) -> bool
+    where
+        K: Ord,
+        F: Fn(u64) -> K,
+    {
+        debug_assert_ne!(candidate, NO_INDEX, "NO_INDEX is reserved");
+        let cand_key = key(candidate);
+        let mut cur = self.idx.load(Ordering::Relaxed);
+        loop {
+            if cur != NO_INDEX && key(cur) <= cand_key {
+                return false;
+            }
+            match self.idx.compare_exchange_weak(
+                cur,
+                candidate,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicIndexMin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.load(Ordering::Relaxed);
+        if v == NO_INDEX {
+            write!(f, "AtomicIndexMin(empty)")
+        } else {
+            write!(f, "AtomicIndexMin({v})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn ordered_encoding_is_monotone() {
+        let xs = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            1.0,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in xs.windows(2) {
+            assert!(
+                f64_to_ordered(w[0]) <= f64_to_ordered(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_encoding_round_trips() {
+        for x in [-123.456, -0.0, 0.0, 1.0, 6.02e23, f64::INFINITY] {
+            let y = ordered_to_f64(f64_to_ordered(x));
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn fetch_min_lowers_only() {
+        let a = AtomicF64::new(10.0);
+        assert!(a.fetch_min(5.0, Ordering::Relaxed));
+        assert!(!a.fetch_min(7.0, Ordering::Relaxed));
+        assert!(!a.fetch_min(5.0, Ordering::Relaxed));
+        assert_eq!(a.load(Ordering::Relaxed), 5.0);
+    }
+
+    #[test]
+    fn fetch_min_concurrent_converges_to_global_min() {
+        let pool = ThreadPool::new(4);
+        let a = AtomicF64::new(f64::INFINITY);
+        crate::parallel_for(
+            &pool,
+            0..10_000,
+            crate::ParallelForConfig::with_grain(64),
+            |i| {
+                a.fetch_min(1.0 + (i as f64 % 997.0), Ordering::Relaxed);
+            },
+        );
+        assert_eq!(a.load(Ordering::Relaxed), 1.0);
+    }
+
+    #[test]
+    fn index_min_keeps_smallest_key() {
+        let keys = [9u64, 3, 7, 1, 5];
+        let cell = AtomicIndexMin::new();
+        for i in 0..keys.len() as u64 {
+            cell.propose_min_by(i, |j| keys[j as usize]);
+        }
+        assert_eq!(cell.load(Ordering::Relaxed), 3); // index of key 1
+    }
+
+    #[test]
+    fn index_min_concurrent() {
+        let pool = ThreadPool::new(4);
+        let n = 100_000u64;
+        let cell = AtomicIndexMin::new();
+        crate::parallel_for(
+            &pool,
+            0..n as usize,
+            crate::ParallelForConfig::with_grain(512),
+            |i| {
+                let i = i as u64;
+                // key descends with i, so the max index wins
+                cell.propose_min_by(i, |j| n - j);
+            },
+        );
+        assert_eq!(cell.load(Ordering::Relaxed), n - 1);
+    }
+
+    #[test]
+    fn index_min_reset() {
+        let cell = AtomicIndexMin::new();
+        cell.propose_min_by(4, |j| j);
+        cell.reset();
+        assert_eq!(cell.load(Ordering::Relaxed), NO_INDEX);
+    }
+}

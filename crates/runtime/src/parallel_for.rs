@@ -1,0 +1,199 @@
+//! Dynamically load-balanced parallel loops over index ranges.
+//!
+//! The loops hand out chunks of `grain` indices from a shared atomic cursor,
+//! which is the scheduling model both Galois (`do_all` with a chunked
+//! worklist) and GBBS (`parallel_for` with granularity control) use for flat
+//! loops over vertex or edge ranges.
+
+use crate::pool::ThreadPool;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tuning knobs for a parallel loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelForConfig {
+    /// Number of consecutive indices claimed per atomic fetch.
+    pub grain: usize,
+}
+
+impl Default for ParallelForConfig {
+    fn default() -> Self {
+        ParallelForConfig { grain: 1024 }
+    }
+}
+
+impl ParallelForConfig {
+    /// A config with the given grain (clamped to at least 1).
+    pub fn with_grain(grain: usize) -> Self {
+        ParallelForConfig {
+            grain: grain.max(1),
+        }
+    }
+}
+
+/// Runs `f(i)` for every `i` in `range`, distributing chunks over the pool.
+///
+/// Falls back to a plain sequential loop for single-thread pools or ranges
+/// smaller than one grain, so instrumented single-thread baselines pay no
+/// scheduling overhead.
+///
+/// ```
+/// use llp_runtime::{parallel_for, ParallelForConfig, ThreadPool};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = ThreadPool::new(2);
+/// let sum = AtomicU64::new(0);
+/// parallel_for(&pool, 0..1000, ParallelForConfig::default(), |i| {
+///     sum.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+/// ```
+pub fn parallel_for<F>(pool: &ThreadPool, range: Range<usize>, config: ParallelForConfig, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_chunks(pool, range, config, |chunk| {
+        for i in chunk {
+            f(i);
+        }
+    });
+}
+
+/// Runs `f(chunk)` over disjoint chunks covering `range`.
+///
+/// Chunked access lets callers hoist per-chunk state (thread-local buffers,
+/// counters) out of the inner loop.
+pub fn parallel_for_chunks<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    config: ParallelForConfig,
+    f: F,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
+    parallel_for_chunks_ctx(pool, range, config, |_ctx, chunk| f(chunk));
+}
+
+/// Like [`parallel_for_chunks`], additionally handing each chunk the
+/// executing worker's [`crate::pool::WorkerCtx`] — the hook per-thread structures such
+/// as [`crate::Bag`] need to route pushes to their own segment.
+pub fn parallel_for_chunks_ctx<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    config: ParallelForConfig,
+    f: F,
+) where
+    F: Fn(crate::pool::WorkerCtx, Range<usize>) + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return;
+    }
+    let grain = config.grain.max(1);
+    if pool.threads() == 1 || len <= grain {
+        f(
+            crate::pool::WorkerCtx {
+                tid: 0,
+                nthreads: pool.threads(),
+            },
+            range,
+        );
+        return;
+    }
+
+    let start = range.start;
+    let cursor = AtomicUsize::new(0);
+    pool.broadcast(|ctx| loop {
+        let lo = cursor.fetch_add(grain, Ordering::Relaxed);
+        if lo >= len {
+            break;
+        }
+        let hi = (lo + grain).min(len);
+        f(ctx, start + lo..start + hi);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn sum_with(pool: &ThreadPool, n: usize, grain: usize) -> u64 {
+        let acc = AtomicU64::new(0);
+        parallel_for(
+            pool,
+            0..n,
+            ParallelForConfig::with_grain(grain),
+            |i| {
+                acc.fetch_add(i as u64, Ordering::Relaxed);
+            },
+        );
+        acc.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for n in [0usize, 1, 5, 100, 10_000] {
+            for grain in [1usize, 7, 1024] {
+                let expect = (0..n as u64).sum::<u64>();
+                assert_eq!(sum_with(&pool, n, grain), expect, "n={n} grain={grain}");
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_range_start_respected() {
+        let pool = ThreadPool::new(3);
+        let acc = AtomicU64::new(0);
+        parallel_for(&pool, 10..20, ParallelForConfig::with_grain(3), |i| {
+            assert!((10..20).contains(&i));
+            acc.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn chunks_partition_the_range() {
+        let pool = ThreadPool::new(4);
+        let seen = parking_lot::Mutex::new(vec![0u32; 1000]);
+        parallel_for_chunks(&pool, 0..1000, ParallelForConfig::with_grain(64), |c| {
+            let mut seen = seen.lock();
+            for i in c {
+                seen[i] += 1;
+            }
+        });
+        assert!(seen.lock().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(sum_with(&pool, 1000, 16), (0..1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn ctx_variant_reports_valid_worker_ids() {
+        let pool = ThreadPool::new(4);
+        let seen = parking_lot::Mutex::new(std::collections::HashSet::new());
+        parallel_for_chunks_ctx(&pool, 0..10_000, ParallelForConfig::with_grain(64), |ctx, c| {
+            assert!(ctx.tid < ctx.nthreads);
+            assert_eq!(ctx.nthreads, 4);
+            seen.lock().insert((ctx.tid, c.start));
+        });
+        let chunks: usize = seen.lock().len();
+        assert_eq!(chunks, 10_000 / 64 + 1);
+    }
+
+    #[test]
+    fn zero_grain_is_clamped() {
+        let pool = ThreadPool::new(2);
+        let cfg = ParallelForConfig::with_grain(0);
+        assert_eq!(cfg.grain, 1);
+        let acc = AtomicU64::new(0);
+        parallel_for(&pool, 0..10, cfg, |_| {
+            acc.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,176 @@
+//! Exclusive prefix sums (scans), sequential and parallel.
+//!
+//! Boruvka contraction renumbers surviving component roots with a prefix sum
+//! over indicator flags, and CSR construction turns per-vertex degree counts
+//! into offset arrays. Both are classic scan applications; GBBS exposes the
+//! same primitive as `pbbslib::scan`.
+
+use crate::parallel_for::ParallelForConfig;
+use crate::pool::ThreadPool;
+use crate::reduce::SendPtr;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// In-place sequential exclusive prefix sum. Returns the total.
+///
+/// `[3, 1, 4]` becomes `[0, 3, 4]` and returns `8`.
+pub fn exclusive_scan_in_place(values: &mut [u64]) -> u64 {
+    let mut acc = 0u64;
+    for v in values.iter_mut() {
+        let next = acc + *v;
+        *v = acc;
+        acc = next;
+    }
+    acc
+}
+
+/// Parallel exclusive prefix sum. Returns `(scanned, total)`.
+///
+/// Two-pass block algorithm: per-block sums, sequential scan of block sums,
+/// then per-block local scans offset by the block prefix.
+pub fn exclusive_scan(pool: &ThreadPool, values: &[u64]) -> (Vec<u64>, u64) {
+    let n = values.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let nthreads = pool.threads();
+    if nthreads == 1 || n < 4096 {
+        let mut out = values.to_vec();
+        let total = exclusive_scan_in_place(&mut out);
+        return (out, total);
+    }
+
+    let nblocks = (nthreads * 8).min(n);
+    let block = n.div_ceil(nblocks);
+    let nblocks = n.div_ceil(block);
+
+    // Pass 1: per-block sums.
+    let block_sums: Mutex<Vec<u64>> = Mutex::new(vec![0; nblocks]);
+    let cursor = AtomicUsize::new(0);
+    pool.broadcast(|_| loop {
+        let b = cursor.fetch_add(1, Ordering::Relaxed);
+        if b >= nblocks {
+            break;
+        }
+        let lo = b * block;
+        let hi = ((b + 1) * block).min(n);
+        let s: u64 = values[lo..hi].iter().sum();
+        block_sums.lock()[b] = s;
+    });
+
+    // Scan of block sums (tiny, sequential).
+    let mut block_offsets = block_sums.into_inner();
+    let total = exclusive_scan_in_place(&mut block_offsets);
+
+    // Pass 2: local scans with block offsets.
+    let mut out = vec![0u64; n];
+    let out_ptr = SendPtr::new(out.as_mut_ptr());
+    let block_offsets = &block_offsets;
+    let cursor = AtomicUsize::new(0);
+    pool.broadcast(|_| loop {
+        let b = cursor.fetch_add(1, Ordering::Relaxed);
+        if b >= nblocks {
+            break;
+        }
+        let lo = b * block;
+        let hi = ((b + 1) * block).min(n);
+        let mut acc = block_offsets[b];
+        for (i, &v) in values.iter().enumerate().take(hi).skip(lo) {
+            // SAFETY: blocks are disjoint; each index written once.
+            unsafe {
+                *out_ptr.get().add(i) = acc;
+            }
+            acc += v;
+        }
+    });
+
+    (out, total)
+}
+
+/// Parallel pack: collects indices `i` of `range` where `keep(i)` is true,
+/// preserving index order. Equivalent to a filtered collect; used to extract
+/// surviving vertices/edges during Boruvka contraction.
+pub fn pack_indices<F>(
+    pool: &ThreadPool,
+    n: usize,
+    config: ParallelForConfig,
+    keep: F,
+) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if pool.threads() == 1 || n < 4096 {
+        return (0..n).filter(|&i| keep(i)).collect();
+    }
+    // Flags -> scan -> scatter.
+    let flags: Vec<u64> =
+        crate::parallel_map_collect(pool, 0..n, config, |i| u64::from(keep(i)));
+    let (offsets, total) = exclusive_scan(pool, &flags);
+    let mut out = vec![0usize; total as usize];
+    let out_ptr = SendPtr::new(out.as_mut_ptr());
+    crate::parallel_for(pool, 0..n, config, |i| {
+        if flags[i] == 1 {
+            // SAFETY: offsets are a scan of the flags, so positions are unique.
+            unsafe {
+                *out_ptr.get().add(offsets[i] as usize) = i;
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_scan_small() {
+        let mut v = vec![3, 1, 4, 1, 5];
+        let total = exclusive_scan_in_place(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn sequential_scan_empty() {
+        let mut v: Vec<u64> = vec![];
+        assert_eq!(exclusive_scan_in_place(&mut v), 0);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        for n in [0usize, 1, 10, 4095, 4096, 100_000] {
+            let values: Vec<u64> = (0..n).map(|i| ((i * 31) % 17) as u64).collect();
+            let mut want = values.clone();
+            let want_total = exclusive_scan_in_place(&mut want);
+            let (got, got_total) = exclusive_scan(&pool, &values);
+            assert_eq!(got_total, want_total, "n={n}");
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pack_matches_filter() {
+        let pool = ThreadPool::new(4);
+        for n in [0usize, 5, 4096, 50_000] {
+            let keep = |i: usize| i.is_multiple_of(3) || i.is_multiple_of(7);
+            let got = pack_indices(&pool, n, ParallelForConfig::with_grain(128), keep);
+            let want: Vec<usize> = (0..n).filter(|&i| keep(i)).collect();
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pack_all_and_none() {
+        let pool = ThreadPool::new(2);
+        let all = pack_indices(&pool, 10_000, ParallelForConfig::default(), |_| true);
+        assert_eq!(all.len(), 10_000);
+        assert_eq!(all[9999], 9999);
+        let none = pack_indices(&pool, 10_000, ParallelForConfig::default(), |_| false);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Parallel merge sort.
+//!
+//! Kruskal's baseline sorts the whole edge array; GBBS uses a parallel
+//! sample sort for the same purpose. A chunked merge sort is simpler and
+//! within a small constant of optimal for our sizes: sort one chunk per
+//! thread in parallel, then merge pairs of runs in parallel passes.
+
+use crate::pool::ThreadPool;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sorts `data` by `key`, using the pool for chunk sorting and merging.
+///
+/// The sort is stable across equal keys within a chunk boundary only; all
+/// callers in this workspace use strictly totally ordered keys, where
+/// stability is vacuous.
+pub fn par_sort_by_key<T, K, F>(pool: &ThreadPool, data: &mut [T], key: F)
+where
+    T: Send + Sync + Clone,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = data.len();
+    let nthreads = pool.threads();
+    if nthreads == 1 || n < 8192 {
+        data.sort_unstable_by_key(|a| key(a));
+        return;
+    }
+
+    // Phase 1: split into `nthreads` runs, sort each in parallel.
+    let nruns = nthreads;
+    let run_len = n.div_ceil(nruns);
+    let mut bounds: Vec<(usize, usize)> = (0..nruns)
+        .map(|r| (r * run_len, ((r + 1) * run_len).min(n)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+
+    {
+        // Hand each worker run indices via an atomic cursor; each run is a
+        // disjoint sub-slice, accessed through a raw pointer.
+        let base = crate::reduce::SendPtr::new(data.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
+        let bounds_ref = &bounds;
+        let key = &key;
+        pool.broadcast(|_| loop {
+            let r = cursor.fetch_add(1, Ordering::Relaxed);
+            if r >= bounds_ref.len() {
+                break;
+            }
+            let (lo, hi) = bounds_ref[r];
+            // SAFETY: runs are disjoint index ranges of `data`.
+            let run =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+            run.sort_unstable_by_key(|a| key(a));
+        });
+    }
+
+    // Phase 2: merge adjacent runs pairwise until one run remains.
+    let mut buf: Vec<T> = data.to_vec();
+    let mut src_is_data = true;
+    while bounds.len() > 1 {
+        let pairs: Vec<((usize, usize), (usize, usize))> = bounds
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| (c[0], c[1]))
+            .collect();
+        let tail = if bounds.len() % 2 == 1 {
+            Some(*bounds.last().unwrap())
+        } else {
+            None
+        };
+
+        {
+            let (src, dst): (&[T], &mut [T]) = if src_is_data {
+                (&*data, &mut buf)
+            } else {
+                (&buf, data)
+            };
+            let dst_ptr = crate::reduce::SendPtr::new(dst.as_mut_ptr());
+            let cursor = AtomicUsize::new(0);
+            let pairs_ref = &pairs;
+            let key = &key;
+            pool.broadcast(|_| loop {
+                let p = cursor.fetch_add(1, Ordering::Relaxed);
+                if p >= pairs_ref.len() {
+                    break;
+                }
+                let ((alo, ahi), (blo, bhi)) = pairs_ref[p];
+                let mut i = alo;
+                let mut j = blo;
+                let mut o = alo;
+                // SAFETY: output range [alo, bhi) is disjoint per pair.
+                unsafe {
+                    while i < ahi && j < bhi {
+                        if key(&src[i]) <= key(&src[j]) {
+                            *dst_ptr.get().add(o) = src[i].clone();
+                            i += 1;
+                        } else {
+                            *dst_ptr.get().add(o) = src[j].clone();
+                            j += 1;
+                        }
+                        o += 1;
+                    }
+                    while i < ahi {
+                        *dst_ptr.get().add(o) = src[i].clone();
+                        i += 1;
+                        o += 1;
+                    }
+                    while j < bhi {
+                        *dst_ptr.get().add(o) = src[j].clone();
+                        j += 1;
+                        o += 1;
+                    }
+                }
+            });
+            // Copy the unpaired tail run through unchanged.
+            if let Some((lo, hi)) = tail {
+                dst[lo..hi].clone_from_slice(&src[lo..hi]);
+            }
+        }
+
+        let mut next = Vec::with_capacity(bounds.len().div_ceil(2));
+        for c in bounds.chunks(2) {
+            if c.len() == 2 {
+                next.push((c[0].0, c[1].1));
+            } else {
+                next.push(c[0]);
+            }
+        }
+        bounds = next;
+        src_is_data = !src_is_data;
+    }
+
+    if !src_is_data {
+        data.clone_from_slice(&buf);
+    }
+}
+
+/// Convenience: parallel sort of items that are themselves `Ord`.
+pub fn par_sort<T: Send + Sync + Clone + Ord>(pool: &ThreadPool, data: &mut [T]) {
+    par_sort_by_key(pool, data, |x| x.clone());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize) -> Vec<u64> {
+        let mut x = 0x243F6A8885A308D3u64;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_match_std_across_sizes_and_threads() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            for n in [0usize, 1, 2, 100, 8191, 8192, 100_000] {
+                let mut v = pseudo_random(n);
+                let mut want = v.clone();
+                want.sort_unstable();
+                par_sort(&pool, &mut v);
+                assert_eq!(v, want, "threads={threads} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_by_key_descending() {
+        let pool = ThreadPool::new(4);
+        let mut v = pseudo_random(50_000);
+        par_sort_by_key(&pool, &mut v, |&x| std::cmp::Reverse(x));
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn already_sorted_stays_sorted() {
+        let pool = ThreadPool::new(3);
+        let mut v: Vec<u64> = (0..20_000).collect();
+        par_sort(&pool, &mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(v.len(), 20_000);
+    }
+
+    #[test]
+    fn duplicate_keys_preserved() {
+        let pool = ThreadPool::new(4);
+        let mut v: Vec<u64> = pseudo_random(30_000).into_iter().map(|x| x % 10).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        par_sort(&pool, &mut v);
+        assert_eq!(v, want);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the runtime primitives: every parallel primitive
+//! must agree with its obvious sequential counterpart on arbitrary input.
+
+use llp_runtime::{
+    parallel_for, parallel_map_collect, parallel_reduce, scan, sort, Bag, ParallelForConfig,
+    ThreadPool,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_sum_matches_sequential(
+        values in proptest::collection::vec(0u64..1_000_000, 0..5000),
+        threads in 1usize..5,
+        grain in 1usize..512,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let acc = AtomicU64::new(0);
+        parallel_for(&pool, 0..values.len(), ParallelForConfig::with_grain(grain), |i| {
+            acc.fetch_add(values[i], Ordering::Relaxed);
+        });
+        prop_assert_eq!(acc.load(Ordering::Relaxed), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn parallel_reduce_min_matches(
+        values in proptest::collection::vec(0i64..1_000_000, 1..5000),
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let got = parallel_reduce(
+            &pool,
+            0..values.len(),
+            ParallelForConfig::with_grain(64),
+            i64::MAX,
+            |c| c.map(|i| values[i]).min().unwrap_or(i64::MAX),
+            |a, b| a.min(b),
+        );
+        prop_assert_eq!(got, *values.iter().min().unwrap());
+    }
+
+    #[test]
+    fn map_collect_matches_iterator(
+        n in 0usize..3000,
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let got = parallel_map_collect(&pool, 0..n, ParallelForConfig::with_grain(37), |i| {
+            (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        });
+        let want: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_matches_running_sum(
+        values in proptest::collection::vec(0u64..1000, 0..6000),
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let (scanned, total) = scan::exclusive_scan(&pool, &values);
+        let mut acc = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(scanned[i], acc, "index {}", i);
+            acc += v;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn pack_matches_filter(
+        flags in proptest::collection::vec(proptest::bool::ANY, 0..6000),
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let got = scan::pack_indices(&pool, flags.len(), ParallelForConfig::with_grain(64), |i| flags[i]);
+        let want: Vec<usize> = (0..flags.len()).filter(|&i| flags[i]).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_sort_matches_std(
+        mut values in proptest::collection::vec(0u64..u64::MAX, 0..12_000),
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let mut want = values.clone();
+        want.sort_unstable();
+        sort::par_sort(&pool, &mut values);
+        prop_assert_eq!(values, want);
+    }
+
+    #[test]
+    fn bag_preserves_all_elements(
+        pushes in proptest::collection::vec((0usize..4, 0u32..1_000_000), 0..2000),
+    ) {
+        let bag: Bag<u32> = Bag::new(4);
+        for &(seg, v) in &pushes {
+            bag.push(seg, v);
+        }
+        prop_assert_eq!(bag.len(), pushes.len());
+        let mut got = bag.drain_to_vec();
+        got.sort_unstable();
+        let mut want: Vec<u32> = pushes.iter().map(|&(_, v)| v).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ordered_f64_encoding_is_monotone(a in proptest::num::f64::NORMAL, b in proptest::num::f64::NORMAL) {
+        use llp_runtime::atomics::{f64_to_ordered, ordered_to_f64};
+        prop_assert_eq!(a < b, f64_to_ordered(a) < f64_to_ordered(b));
+        prop_assert_eq!(a.to_bits(), ordered_to_f64(f64_to_ordered(a)).to_bits());
+    }
+}

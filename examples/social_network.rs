@@ -1,0 +1,74 @@
+//! Minimum spanning *forest* of a scale-free "social" graph.
+//!
+//! Graph500-style Kronecker graphs (the paper's second dataset family) are
+//! disconnected: a giant component plus fragments and isolated vertices.
+//! This example computes the MSF of the whole graph with LLP-Boruvka —
+//! which, unlike the Prim family, handles forests natively — and reports
+//! the component structure.
+//!
+//! ```text
+//! cargo run --release --example social_network [-- scale]
+//! ```
+
+use llp_mst_suite::graph::algo::{connected_components, largest_component};
+use llp_mst_suite::graph::generators::{rmat, RmatParams};
+use llp_mst_suite::prelude::*;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
+    println!("generating an RMAT graph at scale {scale} (edge factor 16) ...");
+    let graph = rmat(RmatParams::graph500(scale, 16, 7));
+    let comps = connected_components(&graph);
+    println!(
+        "graph: {} vertices, {} edges, {} connected components",
+        graph.num_vertices(),
+        graph.num_edges(),
+        comps.num_components
+    );
+
+    let pool = ThreadPool::with_available_threads();
+
+    // LLP-Boruvka computes the minimum spanning forest directly.
+    let msf = llp_boruvka(&graph, &pool);
+    println!(
+        "\nLLP-Boruvka MSF: {} edges across {} trees, total weight {:.2}",
+        msf.edges.len(),
+        msf.num_trees,
+        msf.total_weight
+    );
+    println!(
+        "work: {} Boruvka rounds, {} pointer jumps, {} edges scanned",
+        msf.stats.rounds, msf.stats.pointer_jumps, msf.stats.edges_scanned
+    );
+    assert_eq!(msf.num_trees, comps.num_components);
+    verify_msf(&graph, &msf).expect("verified minimum spanning forest");
+    println!("MSF verified against the Kruskal oracle ✓");
+
+    // A Prim-family algorithm refuses the disconnected graph...
+    match llp_prim_par(&graph, 0, &pool) {
+        Err(MstError::Disconnected { reached, total }) => println!(
+            "\nLLP-Prim correctly refuses the disconnected graph \
+             (reached {reached} of {total} vertices)"
+        ),
+        Ok(_) => println!("\n(this seed happened to produce a connected graph)"),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+
+    // ...but runs fine on the giant component, like the paper's
+    // "Graph500 18M" subset of the scale-25 graph.
+    let giant = largest_component(&graph);
+    println!(
+        "giant component: {} vertices ({:.1}% of the graph)",
+        giant.num_vertices(),
+        100.0 * giant.num_vertices() as f64 / graph.num_vertices() as f64
+    );
+    let mst = llp_prim_par(&giant, 0, &pool).expect("giant component is connected");
+    println!(
+        "LLP-Prim on the giant component: weight {:.2}, {:.1}% of vertices fixed early",
+        mst.total_weight,
+        100.0 * mst.stats.early_fixes as f64 / giant.num_vertices() as f64
+    );
+}

@@ -1,0 +1,36 @@
+//! # llp-mst-suite — parallel MST via Lattice Linear Predicate detection
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! * [`graph`] — CSR graphs, generators (RMAT/Kronecker, road networks),
+//!   DIMACS I/O ([`llp_graph`]).
+//! * [`runtime`] — the parallel substrate: thread pool, parallel loops,
+//!   concurrent bags, atomic min utilities ([`llp_runtime`]).
+//! * [`llp`] — the generic Lattice Linear Predicate framework
+//!   ([`llp_core`]).
+//! * [`mst`] — the paper's algorithms: Prim, Kruskal, Boruvka, parallel
+//!   Boruvka, **LLP-Prim** and **LLP-Boruvka** ([`llp_mst`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use llp_mst_suite::prelude::*;
+//!
+//! // The weighted graph of the paper's Fig. 1.
+//! let graph = llp_mst_suite::graph::samples::fig1();
+//! let pool = ThreadPool::new(2);
+//! let mst = llp_prim_par(&graph, 0, &pool).expect("graph is connected");
+//! assert_eq!(mst.total_weight, 16.0); // edges {2, 3, 4, 7}
+//! ```
+
+pub use llp_core as llp;
+pub use llp_graph as graph;
+pub use llp_mst as mst;
+pub use llp_runtime as runtime;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use llp_graph::{CsrGraph, Edge, EdgeKey, GraphBuilder, VertexId};
+    pub use llp_mst::prelude::*;
+    pub use llp_runtime::ThreadPool;
+}

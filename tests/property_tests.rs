@@ -1,0 +1,242 @@
+//! Property-based tests (proptest) over randomly generated graphs.
+//!
+//! Core invariants:
+//! * every algorithm's output equals the Kruskal oracle (canonical MSF);
+//! * the MSF satisfies the cut property directly (no oracle);
+//! * the MSF is invariant under edge insertion order;
+//! * LLP-Prim's work never exceeds classic Prim's heap traffic;
+//! * the MWE of every vertex is always a forest edge (the fact early
+//!   fixing relies on).
+
+use llp_mst_suite::graph::{CsrGraph, Edge, GraphBuilder};
+use llp_mst_suite::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random weighted graph with up to `max_n` vertices. Weights
+/// are drawn from a tiny integer set to force duplicate raw weights, which
+/// stresses the EdgeKey tie-breaking.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1..6u32),
+            0..max_m,
+        )
+        .prop_map(move |triples| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in triples {
+                if u != v {
+                    b.add_edge(u, v, w as f64);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a guaranteed-connected graph (random graph + spanning path).
+fn arb_connected_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1..6u32), 0..max_m).prop_map(
+            move |triples| {
+                let mut b = GraphBuilder::new(n);
+                for i in 1..n as u32 {
+                    // spine guarantees connectivity; weights vary by index
+                    b.add_edge(i - 1, i, 10.0 + (i % 7) as f64);
+                }
+                for (u, v, w) in triples {
+                    if u != v {
+                        b.add_edge(u, v, w as f64);
+                    }
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forest_algorithms_match_kruskal(g in arb_graph(40, 120)) {
+        let pool = ThreadPool::new(2);
+        let oracle = kruskal(&g);
+        prop_assert_eq!(boruvka_seq(&g).canonical_keys(), oracle.canonical_keys());
+        prop_assert_eq!(boruvka_par(&g, &pool).canonical_keys(), oracle.canonical_keys());
+        prop_assert_eq!(llp_boruvka(&g, &pool).canonical_keys(), oracle.canonical_keys());
+    }
+
+    #[test]
+    fn prim_family_matches_kruskal_on_connected(g in arb_connected_graph(30, 90)) {
+        let pool = ThreadPool::new(2);
+        let oracle = kruskal(&g);
+        prop_assert_eq!(prim_lazy(&g, 0).unwrap().canonical_keys(), oracle.canonical_keys());
+        prop_assert_eq!(prim_indexed(&g, 0).unwrap().canonical_keys(), oracle.canonical_keys());
+        prop_assert_eq!(llp_prim_seq(&g, 0).unwrap().canonical_keys(), oracle.canonical_keys());
+        prop_assert_eq!(llp_prim_par(&g, 0, &pool).unwrap().canonical_keys(), oracle.canonical_keys());
+    }
+
+    #[test]
+    fn msf_satisfies_cut_and_cycle_properties(g in arb_graph(20, 50)) {
+        let msf = kruskal(&g);
+        prop_assert!(verify_cut_property(&g, &msf).is_ok());
+        prop_assert!(verify_cycle_property(&g, &msf).is_ok());
+        prop_assert!(verify_forest_structure(&g, &msf).is_ok());
+    }
+
+    #[test]
+    fn msf_invariant_under_edge_order(
+        g in arb_graph(25, 60),
+        seed in 0u64..1000,
+    ) {
+        // Rebuild the same graph with shuffled edge insertion order.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut edges: Vec<Edge> = g.edges().collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        edges.shuffle(&mut rng);
+        let mut b = GraphBuilder::new(g.num_vertices());
+        b.extend(edges);
+        let g2 = b.build();
+        prop_assert_eq!(
+            kruskal(&g).canonical_keys(),
+            kruskal(&g2).canonical_keys()
+        );
+        let pool = ThreadPool::new(2);
+        prop_assert_eq!(
+            llp_boruvka(&g, &pool).canonical_keys(),
+            llp_boruvka(&g2, &pool).canonical_keys()
+        );
+    }
+
+    #[test]
+    fn llp_prim_never_does_more_heap_work(g in arb_connected_graph(40, 150)) {
+        let prim = prim_lazy(&g, 0).unwrap();
+        let llp = llp_prim_seq(&g, 0).unwrap();
+        prop_assert!(llp.stats.heap_ops() <= prim.stats.heap_ops(),
+            "llp {} > prim {}", llp.stats.heap_ops(), prim.stats.heap_ops());
+        // Accounting: every vertex except the root is fixed exactly once.
+        prop_assert_eq!(
+            llp.stats.early_fixes + llp.stats.heap_fixes,
+            (g.num_vertices() - 1) as u64
+        );
+    }
+
+    #[test]
+    fn every_vertex_mwe_is_a_forest_edge(g in arb_graph(25, 60)) {
+        let msf_keys = kruskal(&g).canonical_keys();
+        for v in 0..g.num_vertices() as u32 {
+            if let Some(mwe) = g.min_edge(v) {
+                prop_assert!(
+                    msf_keys.binary_search(&mwe).is_ok(),
+                    "mwe of {} ({:?}) not in MSF", v, mwe
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn msf_weight_is_minimal_among_random_spanning_structures(
+        g in arb_connected_graph(15, 40),
+        seed in 0u64..1000,
+    ) {
+        // Any spanning tree obtained from a random edge order (via union-
+        // find) weighs at least the MSF.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut edges: Vec<Edge> = g.edges().collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        edges.shuffle(&mut rng);
+        let mut uf = llp_mst_suite::mst::union_find::UnionFind::new(g.num_vertices());
+        let mut weight = 0.0;
+        for e in &edges {
+            if uf.union(e.u, e.v) {
+                weight += e.w;
+            }
+        }
+        let mst = kruskal(&g);
+        prop_assert!(mst.total_weight <= weight + 1e-9);
+    }
+
+    #[test]
+    fn mst_equivariant_under_vertex_permutation(
+        g in arb_connected_graph(25, 70),
+        seed in 0u64..1000,
+    ) {
+        use llp_mst_suite::graph::transform::{permute_vertices, random_permutation};
+        let n = g.num_vertices();
+        let perm = random_permutation(n, seed);
+        let pg = permute_vertices(&g, &perm);
+        // With duplicate raw weights the canonical tie-breaking depends on
+        // vertex ids, so only the *weight* is permutation-invariant…
+        let w1 = kruskal(&g).total_weight;
+        let w2 = kruskal(&pg).total_weight;
+        prop_assert!((w1 - w2).abs() < 1e-9, "{w1} vs {w2}");
+
+        // …but with distinct weights the edge set itself is equivariant.
+        let mut b = GraphBuilder::new(n);
+        for (i, e) in g.edges().enumerate() {
+            b.add_edge(e.u, e.v, 1.0 + i as f64); // force distinct weights
+        }
+        let gd = b.build();
+        let pgd = permute_vertices(&gd, &perm);
+        let mut mapped: Vec<llp_mst_suite::graph::EdgeKey> = kruskal(&gd)
+            .edges
+            .iter()
+            .map(|e| llp_mst_suite::graph::EdgeKey::new(
+                e.w,
+                perm[e.u as usize],
+                perm[e.v as usize],
+            ))
+            .collect();
+        mapped.sort_unstable();
+        prop_assert_eq!(mapped, kruskal(&pgd).canonical_keys());
+    }
+
+    #[test]
+    fn mst_invariant_under_monotone_weight_maps(g in arb_connected_graph(25, 70)) {
+        use llp_mst_suite::graph::transform::map_weights;
+        let doubled = map_weights(&g, |w| 2.0 * w + 1.0);
+        let base: Vec<(u32, u32)> = kruskal(&g)
+            .edges.iter().map(|e| e.canonical_endpoints()).collect();
+        let mapped: Vec<(u32, u32)> = kruskal(&doubled)
+            .edges.iter().map(|e| e.canonical_endpoints()).collect();
+        let mut base = base; base.sort_unstable();
+        let mut mapped = mapped; mapped.sort_unstable();
+        prop_assert_eq!(base, mapped);
+    }
+
+    #[test]
+    fn hybrid_matches_oracle(g in arb_connected_graph(25, 70), rounds in 0usize..4) {
+        let pool = ThreadPool::new(2);
+        let hybrid = llp_mst_suite::mst::hybrid::hybrid_boruvka_prim(&g, &pool, rounds).unwrap();
+        prop_assert_eq!(hybrid.canonical_keys(), kruskal(&g).canonical_keys());
+    }
+
+    #[test]
+    fn rooted_forest_is_consistent(g in arb_graph(25, 60)) {
+        use llp_mst_suite::mst::tree::RootedForest;
+        let msf = kruskal(&g);
+        let f = RootedForest::new(g.num_vertices(), &msf, 0);
+        prop_assert_eq!(f.num_trees(), msf.num_trees);
+        // Total of parent weights equals the forest weight.
+        let sum: f64 = f.parent_weight.iter().sum();
+        prop_assert!((sum - msf.total_weight).abs() < 1e-9);
+        // Depths are consistent with parents.
+        for v in 0..g.num_vertices() as u32 {
+            if !f.is_root(v) {
+                prop_assert_eq!(f.depth[v as usize], f.depth[f.parent[v as usize] as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(g in arb_connected_graph(30, 90)) {
+        let r = llp_prim_seq(&g, 0).unwrap();
+        // Heap pops never exceed pushes; every heap fix required a pop.
+        prop_assert!(r.stats.heap_pops <= r.stats.heap_pushes);
+        prop_assert!(r.stats.heap_fixes <= r.stats.heap_pops.max(r.stats.heap_fixes));
+        // Edge scans are bounded by the arc count.
+        prop_assert!(r.stats.edges_scanned <= g.num_arcs() as u64);
+    }
+}
