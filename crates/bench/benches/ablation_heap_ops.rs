@@ -6,7 +6,8 @@
 //! * Boruvka synchronization: GBBS-style CAS/union-find baseline vs
 //!   LLP-Boruvka's relaxed pointer jumping.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_bench::microbench::{BenchmarkId, Criterion};
+use llp_bench::{criterion_group, criterion_main};
 use llp_bench::{run_algorithm, Algorithm, Scale, Workload};
 use llp_runtime::ThreadPool;
 

@@ -4,7 +4,8 @@
 //! Paper shape to check: LLP-Prim (1T) faster than Prim (21–27%); both
 //! roughly 3x faster than single-threaded Boruvka.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_bench::microbench::{BenchmarkId, Criterion};
+use llp_bench::{criterion_group, criterion_main};
 use llp_bench::{run_algorithm, Algorithm, Scale, Workload};
 use llp_runtime::ThreadPool;
 

@@ -7,7 +7,8 @@
 //! few physical cores the wall-clock sweep saturates early; the CSVs from
 //! `repro fig3` carry the machine-independent work metrics.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_bench::microbench::{BenchmarkId, Criterion};
+use llp_bench::{criterion_group, criterion_main};
 use llp_bench::{run_algorithm, Algorithm, Scale, Workload};
 use llp_runtime::ThreadPool;
 

@@ -5,7 +5,8 @@
 //! scale-free graph and at the low thread count; the Boruvka family
 //! stronger at the high thread count with LLP-Boruvka modestly ahead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_bench::microbench::{BenchmarkId, Criterion};
+use llp_bench::{criterion_group, criterion_main};
 use llp_bench::{run_algorithm, Algorithm, Scale, Workload};
 use llp_runtime::ThreadPool;
 

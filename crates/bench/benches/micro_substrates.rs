@@ -4,7 +4,8 @@
 //! These attribute end-to-end differences to components (e.g. how much of
 //! Prim's time is heap traffic) and guard against substrate regressions.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llp_bench::microbench::{black_box, Criterion};
+use llp_bench::{criterion_group, criterion_main};
 use llp_bench::{Scale, Workload};
 use llp_mst::heap::{IndexedHeap, LazyHeap};
 use llp_mst::union_find::{ConcurrentUnionFind, UnionFind};

@@ -13,12 +13,22 @@
 //!                                road workload (e.g. USA-road-d.USA.gr)
 //! ```
 //!
-//! Output: paper-style text tables on stdout plus one CSV per artifact in
-//! the output directory.
+//! Output: paper-style text tables on stdout plus, per artifact in the
+//! output directory, one CSV of timing/work metrics and one structured
+//! JSON run report (schema `llp-mst-run-report/v1`) carrying per-phase
+//! timings, per-wave histograms and telemetry counters for every
+//! (algorithm, workload, threads) configuration.
 
-use llp_bench::harness::{format_table, time_algorithm, write_csv, Sample};
+use llp_bench::harness::{
+    format_table, time_algorithm_with_report, write_csv, write_json_report, RunRecord, Sample,
+};
 use llp_bench::{Algorithm, Scale, Workload};
 use std::path::PathBuf;
+
+/// Peels the timing samples out of telemetry-bearing records for CSV output.
+fn samples_of(records: &[RunRecord]) -> Vec<Sample> {
+    records.iter().map(|r| r.sample.clone()).collect()
+}
 
 struct Options {
     scale: Scale,
@@ -162,19 +172,16 @@ fn fig2(opts: &Options) {
         Algorithm::LlpPrimSeq,
         Algorithm::Boruvka, // parallel Boruvka run with 1 thread, as in the paper
     ];
-    let mut samples: Vec<Sample> = Vec::new();
+    let mut records: Vec<RunRecord> = Vec::new();
     let mut rows = Vec::new();
     for w in &workloads {
-        let mut per_workload: Vec<&Sample> = Vec::new();
+        let base = records.len();
         for &algo in &algos {
-            samples.push(time_algorithm(algo, w, 1, opts.reps));
+            records.push(time_algorithm_with_report(algo, w, 1, opts.reps));
         }
-        let base = samples.len() - algos.len();
-        for s in &samples[base..] {
-            per_workload.push(s);
-        }
-        let prim_ms = per_workload[0].median_ms;
-        for s in per_workload {
+        let prim_ms = records[base].sample.median_ms;
+        for r in &records[base..] {
+            let s = &r.sample;
             rows.push(vec![
                 s.workload.clone(),
                 s.algo.label().to_string(),
@@ -191,7 +198,8 @@ fn fig2(opts: &Options) {
             &rows,
         )
     );
-    let _ = write_csv(&opts.out.join("fig2.csv"), &samples);
+    let _ = write_csv(&opts.out.join("fig2.csv"), &samples_of(&records));
+    let _ = write_json_report(&opts.out.join("fig2.json"), &records);
     println!(
         "paper shape: LLP-Prim(1T) ≈ 1.21–1.27x faster than Prim; both ≈ 3x faster than Boruvka\n"
     );
@@ -201,11 +209,12 @@ fn fig2(opts: &Options) {
 fn fig3(opts: &Options) {
     let w = opts.road_workload();
     let algos = [Algorithm::LlpPrim, Algorithm::Boruvka, Algorithm::LlpBoruvka];
-    let mut samples: Vec<Sample> = Vec::new();
+    let mut records: Vec<RunRecord> = Vec::new();
     let mut rows = Vec::new();
     for threads in opts.thread_sweep() {
         for &algo in &algos {
-            let s = time_algorithm(algo, &w, threads, opts.reps);
+            let r = time_algorithm_with_report(algo, &w, threads, opts.reps);
+            let s = &r.sample;
             rows.push(vec![
                 threads.to_string(),
                 s.algo.label().to_string(),
@@ -214,7 +223,7 @@ fn fig3(opts: &Options) {
                 s.stats.parallel_regions.to_string(),
                 s.stats.atomic_rmw.to_string(),
             ]);
-            samples.push(s);
+            records.push(r);
         }
     }
     println!(
@@ -232,7 +241,8 @@ fn fig3(opts: &Options) {
             &rows,
         )
     );
-    let _ = write_csv(&opts.out.join("fig3.csv"), &samples);
+    let _ = write_csv(&opts.out.join("fig3.csv"), &samples_of(&records));
+    let _ = write_json_report(&opts.out.join("fig3.json"), &records);
     println!(
         "paper shape: LLP-Prim fastest at 1–4 threads, plateaus ~8; Boruvka-family scales,\n\
          crosses over ~8 threads; LLP-Boruvka ≤ Boruvka runtime throughout.\n\
@@ -247,19 +257,20 @@ fn fig4(opts: &Options) {
     let algos = [Algorithm::LlpPrim, Algorithm::Boruvka, Algorithm::LlpBoruvka];
     let low = 2usize;
     let high = opts.max_threads.max(4);
-    let mut samples: Vec<Sample> = Vec::new();
+    let mut records: Vec<RunRecord> = Vec::new();
     let mut rows = Vec::new();
     for w in &workloads {
         for &threads in &[low, high] {
             for &algo in &algos {
-                let s = time_algorithm(algo, w, threads, opts.reps);
+                let r = time_algorithm_with_report(algo, w, threads, opts.reps);
+                let s = &r.sample;
                 rows.push(vec![
                     w.name.clone(),
                     format!("{threads}"),
                     s.algo.label().to_string(),
                     format!("{:.2}", s.median_ms),
                 ]);
-                samples.push(s);
+                records.push(r);
             }
         }
     }
@@ -271,7 +282,8 @@ fn fig4(opts: &Options) {
             &rows,
         )
     );
-    let _ = write_csv(&opts.out.join("fig4.csv"), &samples);
+    let _ = write_csv(&opts.out.join("fig4.csv"), &samples_of(&records));
+    let _ = write_json_report(&opts.out.join("fig4.json"), &records);
     println!(
         "paper shape: LLP-Prim best at low core counts (more so on denser graphs);\n\
          Boruvka-family best at high core counts with LLP-Boruvka modestly ahead.\n"
@@ -282,11 +294,12 @@ fn fig4(opts: &Options) {
 fn ablation(opts: &Options) {
     let workloads = [opts.road_workload(), Workload::rmat(opts.scale, opts.seed)];
     let mut rows = Vec::new();
-    let mut samples: Vec<Sample> = Vec::new();
+    let mut records: Vec<RunRecord> = Vec::new();
     for w in &workloads {
         // Heap traffic: Prim vs LLP-Prim (the early-fixing claim).
-        let prim = time_algorithm(Algorithm::Prim, w, 1, 1);
-        let llp = time_algorithm(Algorithm::LlpPrimSeq, w, 1, 1);
+        let prim_r = time_algorithm_with_report(Algorithm::Prim, w, 1, 1);
+        let llp_r = time_algorithm_with_report(Algorithm::LlpPrimSeq, w, 1, 1);
+        let (prim, llp) = (&prim_r.sample, &llp_r.sample);
         let n = w.graph.num_vertices() as f64;
         rows.push(vec![
             w.name.clone(),
@@ -306,8 +319,9 @@ fn ablation(opts: &Options) {
             format!("{:.1}% of n", 100.0 * llp.stats.early_fixes as f64 / n),
         ]);
         // Synchronization: parallel Boruvka vs LLP-Boruvka.
-        let bor = time_algorithm(Algorithm::Boruvka, w, 2, 1);
-        let llb = time_algorithm(Algorithm::LlpBoruvka, w, 2, 1);
+        let bor_r = time_algorithm_with_report(Algorithm::Boruvka, w, 2, 1);
+        let llb_r = time_algorithm_with_report(Algorithm::LlpBoruvka, w, 2, 1);
+        let (bor, llb) = (&bor_r.sample, &llb_r.sample);
         rows.push(vec![
             w.name.clone(),
             "atomic RMW ops".into(),
@@ -333,7 +347,8 @@ fn ablation(opts: &Options) {
             String::new(),
         ]);
         // Hybrid extension: a couple of contraction rounds then Prim.
-        let hyb = time_algorithm(Algorithm::Hybrid, w, 2, 1);
+        let hyb_r = time_algorithm_with_report(Algorithm::Hybrid, w, 2, 1);
+        let hyb = &hyb_r.sample;
         rows.push(vec![
             w.name.clone(),
             "hybrid heap ops".into(),
@@ -344,7 +359,7 @@ fn ablation(opts: &Options) {
                 100.0 * (1.0 - hyb.stats.heap_ops() as f64 / prim.stats.heap_ops().max(1) as f64)
             ),
         ]);
-        samples.extend([prim, llp, bor, llb, hyb]);
+        records.extend([prim_r, llp_r, bor_r, llb_r, hyb_r]);
     }
     println!(
         "{}",
@@ -354,7 +369,8 @@ fn ablation(opts: &Options) {
             &rows,
         )
     );
-    let _ = write_csv(&opts.out.join("ablation.csv"), &samples);
+    let _ = write_csv(&opts.out.join("ablation.csv"), &samples_of(&records));
+    let _ = write_json_report(&opts.out.join("ablation.json"), &records);
 }
 
 /// §VII.C closing remark ("graphs of different sizes and the same
@@ -362,15 +378,16 @@ fn ablation(opts: &Options) {
 /// morphology checking that the Fig. 2 ordering is size-stable.
 fn sizes(opts: &Options) {
     let mut rows = Vec::new();
-    let mut samples: Vec<Sample> = Vec::new();
+    let mut records: Vec<RunRecord> = Vec::new();
     for scale in [Scale::Small, Scale::Medium, Scale::Large] {
         if matches!(scale, Scale::Large) && !matches!(opts.scale, Scale::Large) {
             continue; // only pay for the 1M-vertex graph when asked
         }
         let w = Workload::road(scale, opts.seed);
-        let prim = time_algorithm(Algorithm::Prim, &w, 1, opts.reps);
-        let llp = time_algorithm(Algorithm::LlpPrimSeq, &w, 1, opts.reps);
-        let llb = time_algorithm(Algorithm::LlpBoruvka, &w, 1, opts.reps);
+        let prim_r = time_algorithm_with_report(Algorithm::Prim, &w, 1, opts.reps);
+        let llp_r = time_algorithm_with_report(Algorithm::LlpPrimSeq, &w, 1, opts.reps);
+        let llb_r = time_algorithm_with_report(Algorithm::LlpBoruvka, &w, 1, opts.reps);
+        let (prim, llp, llb) = (&prim_r.sample, &llp_r.sample, &llb_r.sample);
         rows.push(vec![
             w.name.clone(),
             format!("{}", w.graph.num_vertices()),
@@ -379,7 +396,7 @@ fn sizes(opts: &Options) {
             format!("{:.2}", llb.median_ms),
             format!("{:.2}x", prim.median_ms / llp.median_ms),
         ]);
-        samples.extend([prim, llp, llb]);
+        records.extend([prim_r, llp_r, llb_r]);
     }
     println!(
         "{}",
@@ -396,5 +413,6 @@ fn sizes(opts: &Options) {
             &rows,
         )
     );
-    let _ = write_csv(&opts.out.join("sizes.csv"), &samples);
+    let _ = write_csv(&opts.out.join("sizes.csv"), &samples_of(&records));
+    let _ = write_json_report(&opts.out.join("sizes.json"), &records);
 }

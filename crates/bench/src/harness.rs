@@ -1,9 +1,9 @@
-//! Timing, aggregation and table/CSV output.
+//! Timing, aggregation and table/CSV/JSON output.
 
 use crate::algorithms::{run_algorithm_with_mwe, Algorithm};
 use crate::workloads::Workload;
 use llp_mst::AlgoStats;
-use llp_runtime::ThreadPool;
+use llp_runtime::{telemetry, ThreadPool};
 use std::io::Write;
 use std::time::Instant;
 
@@ -58,6 +58,41 @@ pub fn time_algorithm(algo: Algorithm, w: &Workload, threads: usize, reps: usize
         min_ms: times_ms[0],
         stats: last.stats,
         total_weight: last.total_weight,
+    }
+}
+
+/// A timed sample paired with the phase-level telemetry of one
+/// instrumented run of the same configuration.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Timing and work metrics from the *uninstrumented* repetitions.
+    pub sample: Sample,
+    /// Phase timings / wave histograms / counters from one extra run with
+    /// telemetry recording force-enabled.
+    pub telemetry: telemetry::RunReport,
+}
+
+/// Like [`time_algorithm`], additionally executing one extra run with
+/// telemetry recording force-enabled to capture a [`telemetry::RunReport`].
+/// The timing statistics come exclusively from the uninstrumented
+/// repetitions, so enabling reports never perturbs the published numbers.
+pub fn time_algorithm_with_report(
+    algo: Algorithm,
+    w: &Workload,
+    threads: usize,
+    reps: usize,
+) -> RunRecord {
+    let sample = time_algorithm(algo, w, threads, reps);
+    let was_enabled = telemetry::enabled();
+    telemetry::set_enabled(true);
+    telemetry::begin_run();
+    let pool = ThreadPool::new(threads);
+    let _ = run_algorithm_with_mwe(algo, &w.graph, w.root(), &pool, Some(&w.mwe));
+    let report = telemetry::take_report();
+    telemetry::set_enabled(was_enabled);
+    RunRecord {
+        sample,
+        telemetry: report,
     }
 }
 
@@ -131,6 +166,88 @@ pub fn write_csv(path: &std::path::Path, samples: &[Sample]) -> std::io::Result<
     Ok(())
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn stats_json(s: &AlgoStats) -> String {
+    format!(
+        "{{\"heap_pushes\":{},\"heap_pops\":{},\"decrease_keys\":{},\"edges_scanned\":{},\
+         \"early_fixes\":{},\"heap_fixes\":{},\"rounds\":{},\"pointer_jumps\":{},\
+         \"cas_retries\":{},\"atomic_rmw\":{},\"parallel_regions\":{}}}",
+        s.heap_pushes,
+        s.heap_pops,
+        s.decrease_keys,
+        s.edges_scanned,
+        s.early_fixes,
+        s.heap_fixes,
+        s.rounds,
+        s.pointer_jumps,
+        s.cas_retries,
+        s.atomic_rmw,
+        s.parallel_regions,
+    )
+}
+
+/// Serialises one record as a JSON object: identity + timing + work
+/// metrics + the embedded telemetry report.
+pub fn record_json(r: &RunRecord) -> String {
+    let s = &r.sample;
+    format!(
+        "{{\"algorithm\":\"{}\",\"workload\":\"{}\",\"threads\":{},\
+         \"median_ms\":{:.6},\"min_ms\":{:.6},\"total_weight\":{:.6},\
+         \"stats\":{},\"telemetry\":{}}}",
+        json_escape(s.algo.label()),
+        json_escape(&s.workload),
+        s.threads,
+        s.median_ms,
+        s.min_ms,
+        s.total_weight,
+        stats_json(&s.stats),
+        r.telemetry.to_json(),
+    )
+}
+
+/// Writes run records as a structured JSON report to `path` (creating
+/// parent directories). Schema:
+///
+/// ```json
+/// {
+///   "schema": "llp-mst-run-report/v1",
+///   "runs": [
+///     {
+///       "algorithm": "...", "workload": "...", "threads": 1,
+///       "median_ms": 1.5, "min_ms": 1.4, "total_weight": 16.0,
+///       "stats": { "heap_pushes": 0, ... },
+///       "telemetry": { "enabled": true, "phases": [...],
+///                      "series": [...], "counters": {...} }
+///     }
+///   ]
+/// }
+/// ```
+pub fn write_json_report(path: &std::path::Path, records: &[RunRecord]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{\"schema\":\"llp-mst-run-report/v1\",\"runs\":[")?;
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        writeln!(f, "{}{}", record_json(r), sep)?;
+    }
+    writeln!(f, "]}}")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +276,57 @@ mod tests {
         assert!(t.contains("LLP-Prim (1T)"));
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn run_record_captures_telemetry_without_perturbing_timing() {
+        let w = Workload::road(Scale::Small, 3);
+        let was = llp_runtime::telemetry::enabled();
+        let rec = time_algorithm_with_report(Algorithm::LlpPrimSeq, &w, 1, 1);
+        // The pre-existing enable state is restored.
+        assert_eq!(llp_runtime::telemetry::enabled(), was);
+        assert!(rec.sample.median_ms > 0.0);
+        if cfg!(feature = "telemetry") {
+            assert!(rec.telemetry.enabled);
+            let names: Vec<&str> = rec
+                .telemetry
+                .phases
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect();
+            assert!(names.contains(&"frontier-wave"), "phases: {names:?}");
+            assert!(names.contains(&"q-flush"), "phases: {names:?}");
+            assert!(
+                rec.telemetry
+                    .series
+                    .iter()
+                    .any(|s| s.name == "frontier-size" && s.count > 0),
+                "series: {:?}",
+                rec.telemetry.series
+            );
+        } else {
+            assert!(!rec.telemetry.enabled);
+            assert!(rec.telemetry.phases.is_empty());
+        }
+    }
+
+    #[test]
+    fn json_report_is_structurally_valid() {
+        let w = Workload::road(Scale::Small, 4);
+        let rec = time_algorithm_with_report(Algorithm::LlpBoruvka, &w, 2, 1);
+        let dir = std::env::temp_dir().join("llp-bench-json-test");
+        let path = dir.join("report.json");
+        write_json_report(&path, &[rec.clone(), rec]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"schema\":\"llp-mst-run-report/v1\""));
+        assert!(text.contains("\"stats\":{\"heap_pushes\""));
+        assert!(text.contains("\"telemetry\":{\"enabled\""));
+        // Balanced braces/brackets outside of strings (no strings here
+        // contain braces) — a cheap structural validity check.
+        let opens = text.matches(['{', '[']).count();
+        let closes = text.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 pub mod algorithms;
 pub mod harness;
+pub mod microbench;
 pub mod workloads;
 
 pub use algorithms::{run_algorithm, Algorithm};

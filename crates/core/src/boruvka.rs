@@ -8,6 +8,7 @@
 use crate::result::MstResult;
 use crate::stats::AlgoStats;
 use llp_graph::{CsrGraph, Edge, EdgeKey, VertexId, NO_VERTEX};
+use llp_runtime::telemetry;
 use std::collections::VecDeque;
 
 /// Sequential Boruvka; computes the canonical MSF.
@@ -25,6 +26,7 @@ pub fn boruvka_seq(graph: &CsrGraph) -> MstResult {
 
         // Component labelling: BFS in (V, T) from every unvisited vertex in
         // increasing id order; labels are the least vertex id per component.
+        let label_span = telemetry::span("contract");
         cid.iter_mut().for_each(|c| *c = NO_VERTEX);
         for start in 0..n as VertexId {
             if cid[start as usize] != NO_VERTEX {
@@ -42,7 +44,10 @@ pub fn boruvka_seq(graph: &CsrGraph) -> MstResult {
             }
         }
 
+        drop(label_span);
+
         // Minimum-weight outgoing edge per component.
+        let _t = telemetry::span("mwe-compute");
         let mut mwe: Vec<Option<(EdgeKey, Edge)>> = vec![None; n];
         for e in graph.edges() {
             stats.edges_scanned += 1;

@@ -8,6 +8,7 @@
 use crate::stats::AlgoStats;
 use llp_graph::{CsrGraph, Edge, EdgeKey};
 use llp_runtime::atomics::{AtomicIndexMin, NO_INDEX};
+use llp_runtime::telemetry;
 use llp_runtime::{parallel_for, parallel_map_collect, Counter, ParallelForConfig, ThreadPool};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
@@ -84,8 +85,11 @@ impl Contraction {
         stats.parallel_regions += 4;
         stats.edges_scanned += self.work.len() as u64;
         let n_cur = self.n_cur;
+        telemetry::record_value("live-edges", self.work.len() as u64);
+        telemetry::record_value("live-vertices", n_cur as u64);
 
         // Step 1a: per-vertex minimum weight edge (index into `work`).
+        let mwe_span = telemetry::span("mwe-compute");
         let best: Vec<AtomicIndexMin> = (0..n_cur).map(|_| AtomicIndexMin::new()).collect();
         {
             let work_ref = &self.work;
@@ -148,8 +152,11 @@ impl Contraction {
             self.chosen.extend(added);
         }
 
+        drop(mwe_span);
+
         // Step 2: pointer jumping with relaxed atomics until G is a star
         // forest (the inner LLP instance, Lemma 3/4).
+        let jump_span = telemetry::span("pointer-jump");
         loop {
             stats.parallel_regions += 1;
             let changed = AtomicBool::new(false);
@@ -172,7 +179,10 @@ impl Contraction {
             }
         }
 
+        drop(jump_span);
+
         // Step 3: contract. Renumber roots densely, relabel and filter.
+        let _t = telemetry::span("contract");
         let root_of: Vec<u32> = g.iter().map(|a| a.load(Ordering::Relaxed)).collect();
         let roots =
             llp_runtime::scan::pack_indices(pool, n_cur, cfg, |v| root_of[v] == v as u32);

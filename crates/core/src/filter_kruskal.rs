@@ -12,6 +12,7 @@ use crate::result::MstResult;
 use crate::stats::AlgoStats;
 use crate::union_find::UnionFind;
 use llp_graph::{CsrGraph, Edge};
+use llp_runtime::telemetry;
 
 /// Below this many edges, sort-and-scan beats further partitioning.
 const BASE_CASE: usize = 1024;
@@ -26,7 +27,11 @@ pub fn filter_kruskal(graph: &CsrGraph) -> MstResult {
     // Introsort-style depth budget: degenerate pivot sequences fall back to
     // sort-and-scan instead of deep recursion.
     let depth_budget = 2 * (usize::BITS - edges.len().leading_zeros()) as usize + 16;
-    recurse(&mut edges, &mut uf, &mut chosen, &mut stats, depth_budget);
+    {
+        let _t = telemetry::span("partition");
+        telemetry::record_value("edges-input", edges.len() as u64);
+        recurse(&mut edges, &mut uf, &mut chosen, &mut stats, depth_budget);
+    }
     chosen.sort_unstable_by_key(Edge::key); // canonical output order
     MstResult::from_edges(n, chosen, stats)
 }

@@ -16,6 +16,7 @@ use crate::heap::LazyHeap;
 use crate::result::{MstError, MstResult};
 use crate::stats::AlgoStats;
 use llp_graph::{CsrGraph, EdgeKey};
+use llp_runtime::telemetry;
 use llp_runtime::{ParallelForConfig, ThreadPool};
 
 /// Boruvka–Prim hybrid: `boruvka_rounds` LLP contraction rounds, then Prim
@@ -99,6 +100,7 @@ pub fn hybrid_boruvka_prim(
 
         fixed[0] = true;
         relax(0, &fixed, &mut dist, &mut best_widx, &mut heap, &mut stats);
+        let _t = telemetry::span("heap-extract");
         while let Some((key, v)) = heap.pop() {
             let v = v as usize;
             if fixed[v] {

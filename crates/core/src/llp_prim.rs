@@ -30,7 +30,10 @@ use crate::result::{MstError, MstResult};
 use crate::stats::AlgoStats;
 use llp_graph::{CsrGraph, Edge, EdgeKey, VertexId};
 use llp_runtime::atomics::{AtomicIndexMin, NO_INDEX};
-use llp_runtime::{parallel_for_chunks_ctx, Bag, Counter, ParallelForConfig, ThreadPool};
+use llp_runtime::telemetry;
+use llp_runtime::{
+    parallel_for_chunks, parallel_for_chunks_ctx, Bag, Counter, ParallelForConfig, ThreadPool,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 fn check_root(graph: &CsrGraph, root: VertexId) -> Result<(), MstError> {
@@ -60,9 +63,12 @@ fn check_root(graph: &CsrGraph, root: VertexId) -> Result<(), MstError> {
 /// assert_eq!(mst.stats.early_fixes, 3); // c, b, e never touch the heap
 /// ```
 pub fn llp_prim_seq(graph: &CsrGraph, root: VertexId) -> Result<MstResult, MstError> {
-    let mwe: Vec<EdgeKey> = (0..graph.num_vertices() as VertexId)
-        .map(|v| graph.min_edge(v).unwrap_or_else(EdgeKey::infinite))
-        .collect();
+    let mwe: Vec<EdgeKey> = {
+        let _t = telemetry::span("mwe-compute");
+        (0..graph.num_vertices() as VertexId)
+            .map(|v| graph.min_edge(v).unwrap_or_else(EdgeKey::infinite))
+            .collect()
+    };
     llp_prim_seq_with_mwe(graph, root, &mwe)
 }
 
@@ -92,36 +98,46 @@ pub fn llp_prim_seq_with_mwe(
 
     loop {
         // Drain R: process freshly fixed vertices, cascading early fixes.
-        while let Some(j) = r_set.pop() {
-            for (k, w) in graph.neighbors(j) {
-                stats.edges_scanned += 1;
-                if fixed[k as usize] {
-                    continue;
-                }
-                let key = EdgeKey::new(w, j, k);
-                if key == mwe[j as usize] || key == mwe[k as usize] {
-                    // Early fix: an MWE into the fixed set is a tree edge.
-                    fixed[k as usize] = true;
-                    fixed_count += 1;
-                    stats.early_fixes += 1;
-                    edges.push(Edge::new(j, k, w));
-                    r_set.push(k);
-                } else if key < dist[k as usize] {
-                    dist[k as usize] = key;
-                    q_set.push(k);
+        {
+            let _t = telemetry::span("frontier-wave");
+            telemetry::record_value("frontier-size", r_set.len() as u64);
+            while let Some(j) = r_set.pop() {
+                for (k, w) in graph.neighbors(j) {
+                    stats.edges_scanned += 1;
+                    if fixed[k as usize] {
+                        continue;
+                    }
+                    let key = EdgeKey::new(w, j, k);
+                    if key == mwe[j as usize] || key == mwe[k as usize] {
+                        // Early fix: an MWE into the fixed set is a tree edge.
+                        fixed[k as usize] = true;
+                        fixed_count += 1;
+                        stats.early_fixes += 1;
+                        edges.push(Edge::new(j, k, w));
+                        r_set.push(k);
+                    } else if key < dist[k as usize] {
+                        dist[k as usize] = key;
+                        q_set.push(k);
+                    }
                 }
             }
         }
 
         // Flush Q into the heap (deferred insertions: vertices fixed while
         // in Q never touch the heap — the work LLP-Prim saves over Prim).
-        for k in q_set.drain(..) {
-            if !fixed[k as usize] {
-                heap.push(dist[k as usize], k);
+        {
+            let _t = telemetry::span("q-flush");
+            telemetry::record_value("q-flush-size", q_set.len() as u64);
+            for k in q_set.drain(..) {
+                if !fixed[k as usize] {
+                    heap.push(dist[k as usize], k);
+                }
             }
         }
 
         // Classic Prim step: fix the nearest non-fixed vertex.
+        let _t = telemetry::span("heap-extract");
+        telemetry::record_value("heap-size", heap.len() as u64);
         let mut reseeded = false;
         while let Some((key, k)) = heap.pop() {
             if fixed[k as usize] {
@@ -136,6 +152,7 @@ pub fn llp_prim_seq_with_mwe(
             reseeded = true;
             break;
         }
+        drop(_t);
         if !reseeded {
             break;
         }
@@ -169,7 +186,10 @@ pub fn llp_prim_par(
     root: VertexId,
     pool: &ThreadPool,
 ) -> Result<MstResult, MstError> {
-    let mwe: Vec<EdgeKey> = graph.compute_mwe(pool);
+    let mwe: Vec<EdgeKey> = {
+        let _t = telemetry::span("mwe-compute");
+        graph.compute_mwe(pool)
+    };
     llp_prim_par_with_mwe(graph, root, pool, &mwe)
 }
 
@@ -222,6 +242,8 @@ pub fn llp_prim_par_with_mwe(
         while !frontier.is_empty() {
             stats.parallel_regions += 1;
             {
+                let _t = telemetry::span("frontier-wave");
+                telemetry::record_value("frontier-size", frontier.len() as u64);
                 let frontier_ref = &frontier;
                 let fixed_ref = &fixed;
                 let best_ref = &best;
@@ -283,6 +305,7 @@ pub fn llp_prim_par_with_mwe(
                     scans_ref.add(local_scans);
                 });
             }
+            telemetry::record_value("bag-occupancy", next.len() as u64);
             next.drain_into(&mut frontier);
             // Q is flushed lazily: remember the candidates for heap entry.
             q_bag.drain_into(&mut q_wave);
@@ -290,22 +313,51 @@ pub fn llp_prim_par_with_mwe(
         }
 
         // Single-threaded heap phase (the paper's Q flush + one extraction).
-        for &k in &q_buf {
-            if !fixed[k as usize].load(Ordering::Relaxed) {
-                let arc = best[k as usize].load(Ordering::Relaxed);
-                debug_assert_ne!(arc, NO_INDEX);
-                heap.push(key_of_arc(arc), k);
+        {
+            let _t = telemetry::span("q-flush");
+            telemetry::record_value("q-flush-size", q_buf.len() as u64);
+            for &k in &q_buf {
+                if !fixed[k as usize].load(Ordering::Relaxed) {
+                    let arc = best[k as usize].load(Ordering::Acquire);
+                    if arc == NO_INDEX {
+                        // k was proposed by a thread whose `propose_min_by`
+                        // lost every round *and* whose winning competitor's
+                        // vertex got early-fixed later: nothing to insert.
+                        // (Not reachable under the current propose/push
+                        // protocol, but a stale entry must never turn into
+                        // an out-of-bounds arc read in release builds.)
+                        continue;
+                    }
+                    heap.push(key_of_arc(arc), k);
+                }
             }
+            q_buf.clear();
         }
-        q_buf.clear();
 
+        let _t = telemetry::span("heap-extract");
+        telemetry::record_value("heap-size", heap.len() as u64);
         let mut reseeded = false;
         while let Some((key, k)) = heap.pop() {
             if fixed[k as usize].load(Ordering::Relaxed) {
                 continue;
             }
-            let arc = best[k as usize].load(Ordering::Relaxed);
-            debug_assert_eq!(key, key_of_arc(arc), "pop must be fresh");
+            let arc = best[k as usize].load(Ordering::Acquire);
+            if arc == NO_INDEX {
+                // No surviving proposal for k (see the flush guard above):
+                // drop the entry rather than dereference NO_INDEX.
+                continue;
+            }
+            // The heap key was computed when k was flushed; `best[k]` may
+            // have been improved by a *later* wave whose flush pushed a
+            // second, fresher entry. Never trust a popped key without
+            // re-reading `best[k]`: re-push under the fresh key and let the
+            // heap re-order instead of fixing k through a stale arc.
+            let fresh = key_of_arc(arc);
+            if key != fresh {
+                telemetry::counter_add("heap-stale-repush", 1);
+                heap.push(fresh, k);
+                continue;
+            }
             fixed[k as usize].store(true, Ordering::Relaxed);
             parent_arc[k as usize].store(arc, Ordering::Relaxed);
             heap_fixes += 1;
@@ -313,6 +365,7 @@ pub fn llp_prim_par_with_mwe(
             reseeded = true;
             break;
         }
+        drop(_t);
         if !reseeded {
             break;
         }
@@ -348,16 +401,60 @@ pub fn llp_prim_par_with_mwe(
     Ok(MstResult::from_edges(n, edges, stats))
 }
 
-/// Builds the arc → source-vertex table (memory-bound linear fill; the
-/// pool parameter is kept for API symmetry with a future parallel fill).
-fn build_arc_sources(graph: &CsrGraph, _pool: &ThreadPool) -> Vec<VertexId> {
-    let mut out = vec![0 as VertexId; graph.num_arcs()];
-    for v in 0..graph.num_vertices() as VertexId {
-        let (lo, hi) = graph_arc_range(graph, v);
-        for slot in &mut out[lo..hi] {
-            *slot = v;
-        }
+/// Builds the arc → source-vertex table.
+///
+/// The fill is memory-bound, so it parallelises over *arc* chunks rather
+/// than vertices (vertex chunks would be badly skewed on power-law
+/// graphs). Each chunk locates its first source vertex by binary search
+/// on the CSR offsets, then walks the ranges forward; chunks write
+/// disjoint slices of `out`.
+fn build_arc_sources(graph: &CsrGraph, pool: &ThreadPool) -> Vec<VertexId> {
+    let _t = telemetry::span("arc-sources");
+    let m = graph.num_arcs();
+    let n = graph.num_vertices();
+    let mut out = vec![0 as VertexId; m];
+    if m == 0 {
+        return out;
     }
+
+    struct Ptr(*mut VertexId);
+    // SAFETY: chunks are disjoint index ranges; each slot is written once.
+    unsafe impl Sync for Ptr {}
+    let ptr = Ptr(out.as_mut_ptr());
+    let ptr = &ptr;
+    parallel_for_chunks(
+        pool,
+        0..m,
+        ParallelForConfig::with_grain(4096),
+        move |chunk| {
+            // First vertex whose arc range extends past the chunk start.
+            let (mut lo_v, mut hi_v) = (0usize, n);
+            while lo_v < hi_v {
+                let mid = lo_v + (hi_v - lo_v) / 2;
+                if graph_arc_range(graph, mid as VertexId).1 <= chunk.start {
+                    lo_v = mid + 1;
+                } else {
+                    hi_v = mid;
+                }
+            }
+            let mut v = lo_v;
+            let mut a = chunk.start;
+            while a < chunk.end {
+                let (_, hi) = graph_arc_range(graph, v as VertexId);
+                let stop = hi.min(chunk.end);
+                for i in a..stop {
+                    // SAFETY: `i` lies in this chunk only.
+                    unsafe { *ptr.0.add(i) = v as VertexId };
+                }
+                a = a.max(stop);
+                if hi <= chunk.end {
+                    v += 1; // range exhausted (empty ranges just skip ahead)
+                } else {
+                    break;
+                }
+            }
+        },
+    );
     out
 }
 
@@ -511,6 +608,99 @@ mod tests {
         let oracle = kruskal(&g).canonical_keys();
         assert_eq!(llp_prim_seq(&g, 2).unwrap().canonical_keys(), oracle);
         assert_eq!(llp_prim_par(&g, 2, &pool).unwrap().canonical_keys(), oracle);
+    }
+
+    #[test]
+    fn arc_sources_parallel_fill_matches_sequential() {
+        // Reference: the obvious sequential per-vertex fill.
+        fn sequential(graph: &CsrGraph) -> Vec<llp_graph::VertexId> {
+            let mut out = vec![0; graph.num_arcs()];
+            for v in 0..graph.num_vertices() as u32 {
+                let (lo, hi) = graph.arc_range(v);
+                for slot in &mut out[lo..hi] {
+                    *slot = v;
+                }
+            }
+            out
+        }
+        use llp_runtime::rng::SmallRng;
+        for seed in 0..24u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            // Mix of shapes, including graphs with many isolated vertices
+            // (empty CSR ranges) and skewed degrees.
+            let n = rng.gen_range(1usize..300);
+            let m = rng.gen_range(0usize..900);
+            let mut b = llp_graph::GraphBuilder::new(n);
+            for _ in 0..m {
+                let u = rng.gen_range(0u32..n as u32);
+                let hub = rng.gen_bool(0.3);
+                let v = if hub { 0 } else { rng.gen_range(0u32..n as u32) };
+                if u != v {
+                    b.add_edge(u, v, rng.gen_range(1u32..50) as f64);
+                }
+            }
+            let g = b.build();
+            let want = sequential(&g);
+            for threads in [1, 2, 4, 7] {
+                let pool = ThreadPool::new(threads);
+                assert_eq!(
+                    build_arc_sources(&g, &pool),
+                    want,
+                    "seed {seed} threads {threads}"
+                );
+            }
+        }
+        // Degenerate shapes.
+        let empty = CsrGraph::empty(5);
+        let pool = ThreadPool::new(3);
+        assert!(build_arc_sources(&empty, &pool).is_empty());
+    }
+
+    #[test]
+    fn contention_stress_equal_weight_graphs_stay_canonical() {
+        // Adversarial input for the CAS protocol: every weight equal, so
+        // every relaxation is a tie broken purely by (weight, source,
+        // target) — the maximum number of propose_min_by races per vertex.
+        // Oversubscribed pools (threads >> cores) force preemption inside
+        // the frontier wave, the interleaving the release-mode heap-phase
+        // guards exist for.
+        let complete = llp_graph::samples::all_equal_weights(24);
+        let grid = {
+            let mut b = llp_graph::GraphBuilder::new(64);
+            for r in 0..8u32 {
+                for c in 0..8u32 {
+                    let v = r * 8 + c;
+                    if c + 1 < 8 {
+                        b.add_edge(v, v + 1, 1.0);
+                    }
+                    if r + 1 < 8 {
+                        b.add_edge(v, v + 8, 1.0);
+                    }
+                }
+            }
+            b.build()
+        };
+        for g in [&complete, &grid] {
+            let oracle = kruskal(g).canonical_keys();
+            for threads in [2, 4, 8, 16] {
+                let pool = ThreadPool::new(threads);
+                for rep in 0..8 {
+                    let got = llp_prim_par(g, 0, &pool).unwrap();
+                    assert_eq!(
+                        got.canonical_keys(),
+                        oracle,
+                        "threads {threads} rep {rep}"
+                    );
+                    // Accounting survives contention: each non-root vertex
+                    // fixed exactly once, by exactly one mechanism.
+                    assert_eq!(
+                        got.stats.early_fixes + got.stats.heap_fixes,
+                        (g.num_vertices() - 1) as u64,
+                        "threads {threads} rep {rep}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::stats::AlgoStats;
 use crate::union_find::ConcurrentUnionFind;
 use llp_graph::{CsrGraph, Edge};
 use llp_runtime::atomics::AtomicIndexMin;
+use llp_runtime::telemetry;
 use llp_runtime::{parallel_for, Bag, Counter, ParallelForConfig, ThreadPool};
 use std::sync::atomic::Ordering;
 
@@ -42,9 +43,11 @@ pub fn boruvka_par(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
     while !live.is_empty() {
         stats.rounds += 1;
         stats.parallel_regions += 3;
+        telemetry::record_value("live-edges", live.len() as u64);
 
         // Phase 1: priority-write each live edge into both components.
         {
+            let _t = telemetry::span("mwe-compute");
             let live_ref = &live;
             let edges_ref = &all_edges;
             let keys_ref = &keys;
@@ -67,6 +70,7 @@ pub fn boruvka_par(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
         }
 
         // Phase 2: hook every component along its winning edge.
+        let hook_span = telemetry::span("contract");
         let winners: Bag<u32> = Bag::new(pool.threads());
         {
             let live_ref = &live;
@@ -119,6 +123,7 @@ pub fn boruvka_par(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
         });
         live = survivors.into_iter().map(|i| live[i]).collect();
         stats.edges_scanned += live.len() as u64;
+        drop(hook_span);
     }
 
     stats.cas_retries = uf.cas_retries();

@@ -13,6 +13,7 @@ use crate::heap::{IndexedHeap, LazyHeap};
 use crate::result::{MstError, MstResult};
 use crate::stats::AlgoStats;
 use llp_graph::{CsrGraph, Edge, EdgeKey, VertexId};
+use llp_runtime::telemetry;
 
 fn check_root(graph: &CsrGraph, root: VertexId) -> Result<(), MstError> {
     let n = graph.num_vertices();
@@ -44,6 +45,7 @@ pub fn prim_lazy(graph: &CsrGraph, root: VertexId) -> Result<MstResult, MstError
     let mut fixed_count = 1usize;
     relax_neighbors(graph, root, &mut dist, &fixed, &mut heap, &mut stats);
 
+    let _t = telemetry::span("heap-extract");
     while let Some((key, v)) = heap.pop() {
         if fixed[v as usize] {
             continue; // stale duplicate of an already-fixed vertex
@@ -109,6 +111,7 @@ pub fn prim_indexed(graph: &CsrGraph, root: VertexId) -> Result<MstResult, MstEr
         }
     }
 
+    let _t = telemetry::span("heap-extract");
     while let Some((key, v)) = heap.pop_min() {
         debug_assert_eq!(key, dist[v as usize]);
         fixed[v as usize] = true;

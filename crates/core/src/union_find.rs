@@ -266,8 +266,7 @@ mod tests {
 
     #[test]
     fn concurrent_parallel_random_unions_match_sequential() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use llp_runtime::rng::SmallRng;
         let pool = ThreadPool::new(4);
         let n = 2000;
         let mut rng = SmallRng::seed_from_u64(99);

@@ -1,16 +1,23 @@
-//! Property tests for the MST crate's data structures: heaps against the
-//! standard library, concurrent against sequential union–find, and the
-//! Prim heap disciplines against each other.
+//! Property-style tests for the MST crate's data structures: heaps against
+//! the standard library, concurrent against sequential union–find, and the
+//! Prim heap disciplines against each other. Cases are deterministic seed
+//! sweeps over [`llp_runtime::rng::SmallRng`] (hermetic builds cannot depend
+//! on `proptest`).
 
 use llp_mst::heap::{IndexedHeap, LazyHeap};
 use llp_mst::union_find::{ConcurrentUnionFind, UnionFind};
-use proptest::prelude::*;
+use llp_runtime::rng::SmallRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn lazy_heap_pops_sorted(entries in proptest::collection::vec((0u64..1000, 0u32..100), 0..500)) {
+#[test]
+fn lazy_heap_pops_sorted() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..500);
+        let entries: Vec<(u64, u32)> = (0..len)
+            .map(|_| (rng.gen_range(0u64..1000), rng.gen_range(0u32..100)))
+            .collect();
         let mut h: LazyHeap<u64> = LazyHeap::new();
         for &(k, v) in &entries {
             h.push(k, v);
@@ -19,16 +26,21 @@ proptest! {
         while let Some((k, _)) = h.pop() {
             popped.push(k);
         }
-        prop_assert!(popped.windows(2).all(|w| w[0] <= w[1]));
-        prop_assert_eq!(popped.len(), entries.len());
-        prop_assert_eq!(h.pushes, entries.len() as u64);
-        prop_assert_eq!(h.pops, entries.len() as u64);
+        assert!(popped.windows(2).all(|w| w[0] <= w[1]), "seed {seed}");
+        assert_eq!(popped.len(), entries.len(), "seed {seed}");
+        assert_eq!(h.pushes, entries.len() as u64, "seed {seed}");
+        assert_eq!(h.pops, entries.len() as u64, "seed {seed}");
     }
+}
 
-    #[test]
-    fn indexed_heap_tracks_minimum_per_vertex(
-        ops in proptest::collection::vec((0u32..50, 0u64..1000), 0..600),
-    ) {
+#[test]
+fn indexed_heap_tracks_minimum_per_vertex() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..600);
+        let ops: Vec<(u32, u64)> = (0..len)
+            .map(|_| (rng.gen_range(0u32..50), rng.gen_range(0u64..1000)))
+            .collect();
         let mut h: IndexedHeap<u64> = IndexedHeap::new(50);
         let mut min_key = vec![u64::MAX; 50];
         for &(v, k) in &ops {
@@ -42,7 +54,7 @@ proptest! {
             popped.push((v, k));
         }
         // Sorted by key.
-        prop_assert!(popped.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(popped.windows(2).all(|w| w[0].1 <= w[1].1), "seed {seed}");
         // Each live vertex appears once with its minimum.
         let mut got = popped.clone();
         got.sort_unstable();
@@ -50,66 +62,74 @@ proptest! {
             .filter(|&v| min_key[v as usize] != u64::MAX)
             .map(|v| (v, min_key[v as usize]))
             .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn union_find_implementations_agree(
-        n in 1usize..200,
-        unions in proptest::collection::vec((0u32..200, 0u32..200), 0..400),
-    ) {
+#[test]
+fn union_find_implementations_agree() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..200);
+        let len = rng.gen_range(0usize..400);
         let mut seq = UnionFind::new(n);
         let conc = ConcurrentUnionFind::new(n);
-        for &(a, b) in &unions {
-            let (a, b) = (a % n as u32, b % n as u32);
+        for _ in 0..len {
+            let a = rng.gen_range(0u32..n as u32);
+            let b = rng.gen_range(0u32..n as u32);
             let s = seq.union(a, b);
             let c = conc.union(a, b);
-            prop_assert_eq!(s, c, "union({}, {})", a, b);
+            assert_eq!(s, c, "seed {seed}: union({a}, {b})");
         }
         for a in 0..n as u32 {
             for b in 0..n as u32 {
-                prop_assert_eq!(seq.same(a, b), conc.same(a, b));
+                assert_eq!(seq.same(a, b), conc.same(a, b), "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn union_find_component_count_is_exact(
-        n in 1usize..100,
-        unions in proptest::collection::vec((0u32..100, 0u32..100), 0..200),
-    ) {
+#[test]
+fn union_find_component_count_is_exact() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..100);
+        let len = rng.gen_range(0usize..200);
         let mut uf = UnionFind::new(n);
         let mut merges = 0;
-        for &(a, b) in &unions {
-            if uf.union(a % n as u32, b % n as u32) {
+        for _ in 0..len {
+            if uf.union(rng.gen_range(0u32..n as u32), rng.gen_range(0u32..n as u32)) {
                 merges += 1;
             }
         }
-        prop_assert_eq!(uf.num_components(), n - merges);
+        assert_eq!(uf.num_components(), n - merges, "seed {seed}");
     }
+}
 
-    #[test]
-    fn prim_heap_disciplines_agree(
-        n in 2usize..40,
-        extra in proptest::collection::vec((0u32..40, 0u32..40, 1u32..9), 0..150),
-    ) {
+#[test]
+fn prim_heap_disciplines_agree() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(2usize..40);
+        let extra = rng.gen_range(0usize..150);
         // Connected graph: spine + random extras with tie-heavy weights.
         let mut b = llp_graph::GraphBuilder::new(n);
         for i in 1..n as u32 {
             b.add_edge(i - 1, i, 5.0 + (i % 3) as f64);
         }
-        for &(u, v, w) in &extra {
-            let (u, v) = (u % n as u32, v % n as u32);
+        for _ in 0..extra {
+            let u = rng.gen_range(0u32..n as u32);
+            let v = rng.gen_range(0u32..n as u32);
             if u != v {
-                b.add_edge(u, v, w as f64);
+                b.add_edge(u, v, rng.gen_range(1u32..9) as f64);
             }
         }
         let g = b.build();
         let lazy = llp_mst::prim::prim_lazy(&g, 0).unwrap();
         let idx = llp_mst::prim::prim_indexed(&g, 0).unwrap();
-        prop_assert_eq!(lazy.canonical_keys(), idx.canonical_keys());
+        assert_eq!(lazy.canonical_keys(), idx.canonical_keys(), "seed {seed}");
         // The indexed heap never stores duplicates, so it pops at most n-1
         // non-stale entries while lazy may pop more.
-        prop_assert!(idx.stats.heap_pops <= lazy.stats.heap_pops);
+        assert!(idx.stats.heap_pops <= lazy.stats.heap_pops, "seed {seed}");
     }
 }

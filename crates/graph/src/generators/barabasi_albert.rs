@@ -8,8 +8,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llp_runtime::rng::SmallRng;
 
 /// Generates a Barabási–Albert graph: starts from a small clique and
 /// attaches each new vertex to `m` existing vertices chosen proportionally

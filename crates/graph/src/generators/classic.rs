@@ -7,8 +7,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llp_runtime::rng::SmallRng;
 
 fn weights(seed: u64) -> impl FnMut() -> f64 {
     let mut rng = SmallRng::seed_from_u64(seed);

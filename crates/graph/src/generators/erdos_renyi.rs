@@ -2,8 +2,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llp_runtime::rng::SmallRng;
 
 /// Generates a G(n, m)-style random graph: `m` endpoint pairs sampled
 /// uniformly (duplicates and self-loops sanitised away, so the final edge

@@ -7,8 +7,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llp_runtime::rng::SmallRng;
 
 /// Generates a random geometric graph with `n` points and connection
 /// `radius`. Uses a uniform grid of cells of side `radius` so generation is

@@ -9,8 +9,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llp_runtime::rng::SmallRng;
 
 /// Parameters of the RMAT generator.
 #[derive(Clone, Copy, Debug)]

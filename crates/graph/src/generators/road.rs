@@ -21,8 +21,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llp_runtime::rng::SmallRng;
 
 /// Parameters of the road-network generator.
 #[derive(Clone, Copy, Debug)]

@@ -7,9 +7,7 @@
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::{VertexId, NO_VERTEX};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use llp_runtime::rng::SmallRng;
 
 /// Relabels vertices by the given permutation: vertex `v` becomes
 /// `perm[v]`. The MST is equivariant under this map, which the property
@@ -39,7 +37,7 @@ pub fn permute_vertices(graph: &CsrGraph, perm: &[VertexId]) -> CsrGraph {
 pub fn random_permutation(n: usize, seed: u64) -> Vec<VertexId> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
-    perm.shuffle(&mut rng);
+    rng.shuffle(&mut perm);
     perm
 }
 

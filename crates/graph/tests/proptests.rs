@@ -1,49 +1,68 @@
-//! Property tests for the graph substrate: builders, CSR invariants,
-//! generators and I/O round-trips on arbitrary inputs.
+//! Property-style tests for the graph substrate: builders, CSR invariants,
+//! generators and I/O round-trips on randomised inputs. Cases are
+//! deterministic seed sweeps over [`llp_runtime::rng::SmallRng`] (hermetic
+//! builds cannot depend on `proptest`).
 
 use llp_graph::generators::{erdos_renyi, road_network, RoadParams};
 use llp_graph::io::{read_binary, read_dimacs, write_binary, write_dimacs};
 use llp_graph::{CsrGraph, Edge, EdgeKey, GraphBuilder};
+use llp_runtime::rng::SmallRng;
 use llp_runtime::ThreadPool;
-use proptest::prelude::*;
 
-fn arb_raw_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32, f64)>)> {
-    (2..max_n).prop_flat_map(move |n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n, 0u32..100), 0..max_m)
-                .prop_map(|v| v.into_iter().map(|(u, w, x)| (u, w, x as f64)).collect()),
-        )
-    })
+const CASES: u64 = 48;
+
+/// Random raw edge triples over `2..max_n` vertices (self-loops included,
+/// the builder must reject them).
+fn raw_edges(rng: &mut SmallRng, max_n: u32, max_m: usize) -> (u32, Vec<(u32, u32, f64)>) {
+    let n = rng.gen_range(2..max_n);
+    let m = rng.gen_range(0..max_m);
+    let edges = (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(0u32..100) as f64,
+            )
+        })
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn builder_always_produces_valid_simple_graphs((n, raw) in arb_raw_edges(50, 400)) {
-        let mut b = GraphBuilder::new(n as usize);
-        for &(u, v, w) in &raw {
-            if u != v {
-                b.add_edge(u, v, w);
-            }
+fn build(n: u32, raw: &[(u32, u32, f64)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v, w) in raw {
+        if u != v {
+            b.add_edge(u, v, w);
         }
-        let g = b.build();
-        prop_assert!(g.validate().is_ok());
+    }
+    b.build()
+}
+
+#[test]
+fn builder_always_produces_valid_simple_graphs() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (n, raw) = raw_edges(&mut rng, 50, 400);
+        let g = build(n, &raw);
+        assert!(g.validate().is_ok(), "seed {seed}");
         // Simple graph: no duplicate neighbour entries.
         for v in 0..n {
             let mut ts: Vec<u32> = g.neighbors(v).map(|(t, _)| t).collect();
             let before = ts.len();
             ts.sort_unstable();
             ts.dedup();
-            prop_assert_eq!(ts.len(), before, "vertex {} has parallel arcs", v);
+            assert_eq!(ts.len(), before, "seed {seed}: vertex {v} has parallel arcs");
         }
     }
+}
 
-    #[test]
-    fn builder_keeps_minimum_of_parallel_edges((n, raw) in arb_raw_edges(20, 200)) {
-        let mut b = GraphBuilder::new(n as usize);
+#[test]
+fn builder_keeps_minimum_of_parallel_edges() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (n, raw) = raw_edges(&mut rng, 20, 200);
         let mut best = std::collections::HashMap::new();
+        let mut b = GraphBuilder::new(n as usize);
         for &(u, v, w) in &raw {
             if u != v {
                 b.add_edge(u, v, w);
@@ -55,21 +74,19 @@ proptest! {
             }
         }
         let g = b.build();
-        prop_assert_eq!(g.num_edges(), best.len());
+        assert_eq!(g.num_edges(), best.len(), "seed {seed}");
         for e in g.edges() {
-            prop_assert_eq!(e.w, best[&e.canonical_endpoints()]);
+            assert_eq!(e.w, best[&e.canonical_endpoints()], "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn csr_edges_round_trip((n, raw) in arb_raw_edges(40, 300)) {
-        let mut b = GraphBuilder::new(n as usize);
-        for &(u, v, w) in &raw {
-            if u != v {
-                b.add_edge(u, v, w);
-            }
-        }
-        let g = b.build();
+#[test]
+fn csr_edges_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (n, raw) = raw_edges(&mut rng, 40, 300);
+        let g = build(n, &raw);
         // edges() -> from_edges reproduces the same graph.
         let edges: Vec<Edge> = g.edges().collect();
         let g2 = CsrGraph::from_edges(n as usize, &edges);
@@ -77,46 +94,45 @@ proptest! {
         let mut k2: Vec<EdgeKey> = g2.edges().map(|e| e.key()).collect();
         k1.sort_unstable();
         k2.sort_unstable();
-        prop_assert_eq!(k1, k2);
+        assert_eq!(k1, k2, "seed {seed}");
     }
+}
 
-    #[test]
-    fn parallel_csr_equals_sequential((n, raw) in arb_raw_edges(40, 300), threads in 1usize..5) {
-        let mut b = GraphBuilder::new(n as usize);
-        for &(u, v, w) in &raw {
-            if u != v {
-                b.add_edge(u, v, w);
-            }
-        }
-        let g = b.build();
+#[test]
+fn parallel_csr_equals_sequential() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (n, raw) = raw_edges(&mut rng, 40, 300);
+        let threads = rng.gen_range(1usize..5);
+        let g = build(n, &raw);
         let edges: Vec<Edge> = g.edges().collect();
         let pool = ThreadPool::new(threads);
         let p = CsrGraph::from_edges_parallel(&pool, n as usize, &edges);
-        prop_assert!(p.validate().is_ok());
-        prop_assert_eq!(p.compute_mwe(&pool), g.compute_mwe(&pool));
+        assert!(p.validate().is_ok(), "seed {seed}");
+        assert_eq!(p.compute_mwe(&pool), g.compute_mwe(&pool), "seed {seed}");
     }
+}
 
-    #[test]
-    fn binary_io_round_trips_any_graph((n, raw) in arb_raw_edges(30, 200)) {
-        let mut b = GraphBuilder::new(n as usize);
-        for &(u, v, w) in &raw {
-            if u != v {
-                b.add_edge(u, v, w);
-            }
-        }
-        let g = b.build();
+#[test]
+fn binary_io_round_trips_any_graph() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (n, raw) = raw_edges(&mut rng, 30, 200);
+        let g = build(n, &raw);
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
         let g2 = read_binary(buf.as_slice()).unwrap();
-        prop_assert_eq!(g, g2);
+        assert_eq!(g, g2, "seed {seed}");
     }
+}
 
-    #[test]
-    fn dimacs_io_round_trips_integer_weights(n in 2u32..30, m in 0usize..150, seed in 0u64..100) {
+#[test]
+fn dimacs_io_round_trips_integer_weights() {
+    for seed in 0..CASES {
         // DIMACS prints decimal weights; integers survive exactly.
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(2u32..30);
+        let m = rng.gen_range(0usize..150);
         let mut b = GraphBuilder::new(n as usize);
         for _ in 0..m {
             let u = rng.gen_range(0..n);
@@ -129,81 +145,87 @@ proptest! {
         let mut buf = Vec::new();
         write_dimacs(&g, &mut buf).unwrap();
         let g2 = read_dimacs(std::io::BufReader::new(buf.as_slice())).unwrap();
-        prop_assert_eq!(g, g2);
-    }
-
-    #[test]
-    fn edge_key_total_order_is_strict_on_distinct_edges((n, raw) in arb_raw_edges(20, 100)) {
-        let mut b = GraphBuilder::new(n as usize);
-        for &(u, v, w) in &raw {
-            if u != v {
-                b.add_edge(u, v, w);
-            }
-        }
-        let g = b.build();
-        let keys: Vec<EdgeKey> = g.edges().map(|e| e.key()).collect();
-        for i in 0..keys.len() {
-            for j in (i + 1)..keys.len() {
-                prop_assert_ne!(keys[i], keys[j]);
-            }
-        }
-    }
-
-    #[test]
-    fn er_generator_is_deterministic_and_valid(n in 2usize..200, m in 0usize..600, seed in 0u64..50) {
-        let a = erdos_renyi(n, m, seed);
-        let b = erdos_renyi(n, m, seed);
-        prop_assert_eq!(&a, &b);
-        prop_assert!(a.validate().is_ok());
-        prop_assert!(a.num_edges() <= m);
-    }
-
-    #[test]
-    fn road_generator_always_connected(rows in 1usize..20, cols in 1usize..20, seed in 0u64..20) {
-        let g = road_network(RoadParams::usa_like(rows, cols, seed));
-        prop_assert_eq!(g.num_vertices(), rows * cols);
-        prop_assert!(llp_graph::algo::is_connected(&g));
+        assert_eq!(g, g2, "seed {seed}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Robustness: the text readers must never panic on arbitrary input —
-    /// they return `Err` for anything malformed.
-    #[test]
-    fn dimacs_reader_never_panics(junk in proptest::collection::vec(proptest::num::u8::ANY, 0..400)) {
-        let _ = read_dimacs(std::io::BufReader::new(junk.as_slice()));
-    }
-
-    #[test]
-    fn metis_reader_never_panics(junk in proptest::collection::vec(proptest::num::u8::ANY, 0..400)) {
-        let _ = llp_graph::io::read_metis(std::io::BufReader::new(junk.as_slice()));
-    }
-
-    #[test]
-    fn edge_list_reader_never_panics(junk in "[ -~\n]{0,300}") {
-        let _ = llp_graph::io::read_edge_list(std::io::BufReader::new(junk.as_bytes()), 0);
-    }
-
-    #[test]
-    fn binary_reader_never_panics(junk in proptest::collection::vec(proptest::num::u8::ANY, 0..400)) {
-        let _ = read_binary(junk.as_slice());
-    }
-
-    #[test]
-    fn metis_round_trips((n, raw) in arb_raw_edges(25, 150)) {
-        use llp_graph::io::{read_metis, write_metis};
-        let mut b = GraphBuilder::new(n as usize);
-        for &(u, v, w) in &raw {
-            if u != v {
-                b.add_edge(u, v, w);
+#[test]
+fn edge_key_total_order_is_strict_on_distinct_edges() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (n, raw) = raw_edges(&mut rng, 20, 100);
+        let g = build(n, &raw);
+        let keys: Vec<EdgeKey> = g.edges().map(|e| e.key()).collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "seed {seed}");
             }
         }
-        let g = b.build();
+    }
+}
+
+#[test]
+fn er_generator_is_deterministic_and_valid() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(2usize..200);
+        let m = rng.gen_range(0usize..600);
+        let a = erdos_renyi(n, m, seed);
+        let b = erdos_renyi(n, m, seed);
+        assert_eq!(&a, &b, "seed {seed}");
+        assert!(a.validate().is_ok(), "seed {seed}");
+        assert!(a.num_edges() <= m, "seed {seed}");
+    }
+}
+
+#[test]
+fn road_generator_always_connected() {
+    for seed in 0..20 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows = rng.gen_range(1usize..20);
+        let cols = rng.gen_range(1usize..20);
+        let g = road_network(RoadParams::usa_like(rows, cols, seed));
+        assert_eq!(g.num_vertices(), rows * cols, "seed {seed}");
+        assert!(llp_graph::algo::is_connected(&g), "seed {seed}");
+    }
+}
+
+/// Robustness: the readers must never panic on arbitrary input — they
+/// return `Err` for anything malformed.
+#[test]
+fn readers_never_panic_on_junk() {
+    for seed in 0..96 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..400);
+        let junk: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        let _ = read_dimacs(std::io::BufReader::new(junk.as_slice()));
+        let _ = llp_graph::io::read_metis(std::io::BufReader::new(junk.as_slice()));
+        let _ = read_binary(junk.as_slice());
+        // Printable-ASCII junk for the line-oriented edge-list reader.
+        let text: String = (0..len)
+            .map(|_| {
+                let c = rng.gen_range(0u32..96);
+                if c == 95 {
+                    '\n'
+                } else {
+                    char::from_u32(c + 32).unwrap()
+                }
+            })
+            .collect();
+        let _ = llp_graph::io::read_edge_list(std::io::BufReader::new(text.as_bytes()), 0);
+    }
+}
+
+#[test]
+fn metis_round_trips() {
+    use llp_graph::io::{read_metis, write_metis};
+    for seed in 0..96 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (n, raw) = raw_edges(&mut rng, 25, 150);
+        let g = build(n, &raw);
         let mut buf = Vec::new();
         write_metis(&g, &mut buf).unwrap();
         let g2 = read_metis(std::io::BufReader::new(buf.as_slice())).unwrap();
-        prop_assert_eq!(g, g2);
+        assert_eq!(g, g2, "seed {seed}");
     }
 }

@@ -118,8 +118,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_on_random_forests() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use llp_runtime::rng::SmallRng;
         let pool = ThreadPool::new(4);
         for seed in 0..6 {
             let mut rng = SmallRng::seed_from_u64(seed);

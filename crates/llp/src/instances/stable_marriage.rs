@@ -150,13 +150,11 @@ mod tests {
     }
 
     fn random_instance(n: usize, seed: u64) -> StableMarriage {
-        use rand::rngs::SmallRng;
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+        use llp_runtime::rng::SmallRng;
         let mut rng = SmallRng::seed_from_u64(seed);
         let perm = |rng: &mut SmallRng| {
             let mut v: Vec<usize> = (0..n).collect();
-            v.shuffle(rng);
+            rng.shuffle(&mut v);
             v
         };
         StableMarriage::new(

@@ -6,7 +6,7 @@
 //! LLP-Prim uses two bags per round (the `R` set of freshly fixed vertices
 //! and the `Q` set of pending heap updates).
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 /// Pads each segment to its own cache line to avoid false sharing between
 /// adjacent per-thread segments.

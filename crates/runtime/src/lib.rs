@@ -30,8 +30,11 @@ pub mod counters;
 pub mod parallel_for;
 pub mod pool;
 pub mod reduce;
+pub mod rng;
 pub mod scan;
 pub mod sort;
+pub mod sync;
+pub mod telemetry;
 
 pub use bag::Bag;
 pub use counters::Counter;

@@ -156,7 +156,7 @@ mod tests {
     #[test]
     fn chunks_partition_the_range() {
         let pool = ThreadPool::new(4);
-        let seen = parking_lot::Mutex::new(vec![0u32; 1000]);
+        let seen = crate::sync::Mutex::new(vec![0u32; 1000]);
         parallel_for_chunks(&pool, 0..1000, ParallelForConfig::with_grain(64), |c| {
             let mut seen = seen.lock();
             for i in c {
@@ -175,7 +175,7 @@ mod tests {
     #[test]
     fn ctx_variant_reports_valid_worker_ids() {
         let pool = ThreadPool::new(4);
-        let seen = parking_lot::Mutex::new(std::collections::HashSet::new());
+        let seen = crate::sync::Mutex::new(std::collections::HashSet::new());
         parallel_for_chunks_ctx(&pool, 0..10_000, ParallelForConfig::with_grain(64), |ctx, c| {
             assert!(ctx.tid < ctx.nthreads);
             assert_eq!(ctx.nthreads, 4);

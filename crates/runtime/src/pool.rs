@@ -12,7 +12,7 @@
 //! SPMD pool has far lower per-round overhead, which matters because
 //! LLP-Prim executes many very short rounds.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -360,7 +360,7 @@ mod tests {
         // The completion barrier publishes worker writes to the caller.
         let pool = ThreadPool::new(4);
         let mut data = vec![0u64; 1000];
-        let slots = parking_lot::Mutex::new(&mut data);
+        let slots = crate::sync::Mutex::new(&mut data);
         pool.broadcast(|ctx| {
             let mut guard = slots.lock();
             let chunk = 1000 / ctx.nthreads;

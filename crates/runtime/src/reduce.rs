@@ -2,7 +2,7 @@
 
 use crate::parallel_for::ParallelForConfig;
 use crate::pool::ThreadPool;
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

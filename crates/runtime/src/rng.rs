@@ -1,0 +1,255 @@
+//! A small, fast, seedable PRNG with a `rand`-like surface.
+//!
+//! Hermetic builds cannot pull the `rand` crate from a registry, and nothing
+//! in this workspace needs cryptographic randomness — generators and tests
+//! only need a fast deterministic stream. [`SmallRng`] is xoshiro256++
+//! (Blackman & Vigna), seeded through SplitMix64 exactly as the reference
+//! implementation recommends, exposing the subset of the `rand` API the
+//! workspace uses: `seed_from_u64`, `gen`, `gen_range`, `gen_bool`, `shuffle`.
+//!
+//! Determinism is part of the contract: every generator takes an explicit
+//! seed and must produce the same graph on every platform, so the stream is
+//! fixed by this implementation and never by platform entropy.
+
+/// Xoshiro256++ PRNG. Not cryptographically secure.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Builds a generator from a 64-bit seed (SplitMix64 state expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SmallRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (upper half of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Samples a value of `T` from its full/unit range (see [`Sample`]).
+    #[inline]
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range. Panics on an empty range.
+    #[inline]
+    pub fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Types samplable from the raw stream: integers over their full range,
+/// floats uniform in `[0, 1)`, `bool` as a fair coin.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(rng: &mut SmallRng) -> Self;
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Sample for f64 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types supporting uniform sampling from `Range<Self>`.
+pub trait SampleRange: Sized {
+    /// Draws one value from `range`; panics if the range is empty.
+    fn sample_range(rng: &mut SmallRng, range: std::ops::Range<Self>) -> Self;
+}
+
+#[inline]
+fn bounded_u64(rng: &mut SmallRng, span: u64) -> u64 {
+    // Debiased multiply-shift (Lemire): uniform over 0..span.
+    debug_assert!(span > 0);
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = rng.next_u64();
+        let hi = ((x as u128 * span as u128) >> 64) as u64;
+        let lo = x.wrapping_mul(span);
+        if lo >= threshold {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            #[inline]
+            fn sample_range(rng: &mut SmallRng, range: std::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u32, u64, usize, i32, i64);
+
+impl SampleRange for f64 {
+    #[inline]
+    fn sample_range(rng: &mut SmallRng, range: std::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        range.start + rng.gen::<f64>() * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_are_in_range_and_spread() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_hits_all_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(5u32..15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i64..4);
+            assert!((-3..4).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(2.5f64..3.5);
+            assert!((2.5..3.5).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(3u32..3);
+    }
+
+    #[test]
+    fn gen_bool_probability_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.1)).count();
+        assert!((700..1300).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.5)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "100 elements almost surely move");
+    }
+}

@@ -8,7 +8,7 @@
 use crate::parallel_for::ParallelForConfig;
 use crate::pool::ThreadPool;
 use crate::reduce::SendPtr;
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// In-place sequential exclusive prefix sum. Returns the total.

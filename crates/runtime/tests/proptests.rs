@@ -1,36 +1,57 @@
-//! Property tests for the runtime primitives: every parallel primitive
-//! must agree with its obvious sequential counterpart on arbitrary input.
+//! Property-style tests for the runtime primitives: every parallel primitive
+//! must agree with its obvious sequential counterpart on randomised input.
+//! Cases are deterministic seed sweeps over [`llp_runtime::rng::SmallRng`]
+//! (hermetic builds cannot depend on `proptest`).
 
+use llp_runtime::rng::SmallRng;
 use llp_runtime::{
     parallel_for, parallel_map_collect, parallel_reduce, scan, sort, Bag, ParallelForConfig,
     ThreadPool,
 };
-use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn parallel_sum_matches_sequential(
-        values in proptest::collection::vec(0u64..1_000_000, 0..5000),
-        threads in 1usize..5,
-        grain in 1usize..512,
-    ) {
+fn random_vec(rng: &mut SmallRng, max_len: usize, max_value: u64) -> Vec<u64> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.gen_range(0..max_value)).collect()
+}
+
+#[test]
+fn parallel_sum_matches_sequential() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let values = random_vec(&mut rng, 5000, 1_000_000);
+        let threads = rng.gen_range(1usize..5);
+        let grain = rng.gen_range(1usize..512);
         let pool = ThreadPool::new(threads);
         let acc = AtomicU64::new(0);
-        parallel_for(&pool, 0..values.len(), ParallelForConfig::with_grain(grain), |i| {
-            acc.fetch_add(values[i], Ordering::Relaxed);
-        });
-        prop_assert_eq!(acc.load(Ordering::Relaxed), values.iter().sum::<u64>());
+        parallel_for(
+            &pool,
+            0..values.len(),
+            ParallelForConfig::with_grain(grain),
+            |i| {
+                acc.fetch_add(values[i], Ordering::Relaxed);
+            },
+        );
+        assert_eq!(
+            acc.load(Ordering::Relaxed),
+            values.iter().sum::<u64>(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn parallel_reduce_min_matches(
-        values in proptest::collection::vec(0i64..1_000_000, 1..5000),
-        threads in 1usize..5,
-    ) {
-        let pool = ThreadPool::new(threads);
+#[test]
+fn parallel_reduce_min_matches() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut values = random_vec(&mut rng, 5000, 1_000_000);
+        if values.is_empty() {
+            values.push(rng.gen_range(0..1_000_000));
+        }
+        let values: Vec<i64> = values.into_iter().map(|v| v as i64).collect();
+        let pool = ThreadPool::new(rng.gen_range(1usize..5));
         let got = parallel_reduce(
             &pool,
             0..values.len(),
@@ -39,80 +60,118 @@ proptest! {
             |c| c.map(|i| values[i]).min().unwrap_or(i64::MAX),
             |a, b| a.min(b),
         );
-        prop_assert_eq!(got, *values.iter().min().unwrap());
+        assert_eq!(got, *values.iter().min().unwrap(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn map_collect_matches_iterator(
-        n in 0usize..3000,
-        threads in 1usize..5,
-    ) {
-        let pool = ThreadPool::new(threads);
+#[test]
+fn map_collect_matches_iterator() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(0usize..3000);
+        let pool = ThreadPool::new(rng.gen_range(1usize..5));
         let got = parallel_map_collect(&pool, 0..n, ParallelForConfig::with_grain(37), |i| {
             (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
         });
-        let want: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).collect();
-        prop_assert_eq!(got, want);
+        let want: Vec<u64> = (0..n)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        assert_eq!(got, want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn scan_matches_running_sum(
-        values in proptest::collection::vec(0u64..1000, 0..6000),
-        threads in 1usize..5,
-    ) {
-        let pool = ThreadPool::new(threads);
+#[test]
+fn scan_matches_running_sum() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let values = random_vec(&mut rng, 6000, 1000);
+        let pool = ThreadPool::new(rng.gen_range(1usize..5));
         let (scanned, total) = scan::exclusive_scan(&pool, &values);
         let mut acc = 0u64;
         for (i, &v) in values.iter().enumerate() {
-            prop_assert_eq!(scanned[i], acc, "index {}", i);
+            assert_eq!(scanned[i], acc, "seed {seed} index {i}");
             acc += v;
         }
-        prop_assert_eq!(total, acc);
+        assert_eq!(total, acc, "seed {seed}");
     }
+}
 
-    #[test]
-    fn pack_matches_filter(
-        flags in proptest::collection::vec(proptest::bool::ANY, 0..6000),
-        threads in 1usize..5,
-    ) {
-        let pool = ThreadPool::new(threads);
-        let got = scan::pack_indices(&pool, flags.len(), ParallelForConfig::with_grain(64), |i| flags[i]);
+#[test]
+fn pack_matches_filter() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..6000);
+        let flags: Vec<bool> = (0..len).map(|_| rng.gen::<bool>()).collect();
+        let pool = ThreadPool::new(rng.gen_range(1usize..5));
+        let got = scan::pack_indices(&pool, flags.len(), ParallelForConfig::with_grain(64), |i| {
+            flags[i]
+        });
         let want: Vec<usize> = (0..flags.len()).filter(|&i| flags[i]).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn par_sort_matches_std(
-        mut values in proptest::collection::vec(0u64..u64::MAX, 0..12_000),
-        threads in 1usize..5,
-    ) {
-        let pool = ThreadPool::new(threads);
+#[test]
+fn par_sort_matches_std() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..12_000);
+        let mut values: Vec<u64> = (0..len).map(|_| rng.gen::<u64>()).collect();
+        let pool = ThreadPool::new(rng.gen_range(1usize..5));
         let mut want = values.clone();
         want.sort_unstable();
         sort::par_sort(&pool, &mut values);
-        prop_assert_eq!(values, want);
+        assert_eq!(values, want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bag_preserves_all_elements(
-        pushes in proptest::collection::vec((0usize..4, 0u32..1_000_000), 0..2000),
-    ) {
+#[test]
+fn bag_preserves_all_elements() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..2000);
+        let pushes: Vec<(usize, u32)> = (0..len)
+            .map(|_| (rng.gen_range(0usize..4), rng.gen_range(0u32..1_000_000)))
+            .collect();
         let bag: Bag<u32> = Bag::new(4);
         for &(seg, v) in &pushes {
             bag.push(seg, v);
         }
-        prop_assert_eq!(bag.len(), pushes.len());
+        assert_eq!(bag.len(), pushes.len(), "seed {seed}");
         let mut got = bag.drain_to_vec();
         got.sort_unstable();
         let mut want: Vec<u32> = pushes.iter().map(|&(_, v)| v).collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn ordered_f64_encoding_is_monotone(a in proptest::num::f64::NORMAL, b in proptest::num::f64::NORMAL) {
-        use llp_runtime::atomics::{f64_to_ordered, ordered_to_f64};
-        prop_assert_eq!(a < b, f64_to_ordered(a) < f64_to_ordered(b));
-        prop_assert_eq!(a.to_bits(), ordered_to_f64(f64_to_ordered(a)).to_bits());
+#[test]
+fn ordered_f64_encoding_is_monotone() {
+    use llp_runtime::atomics::{f64_to_ordered, ordered_to_f64};
+    let mut rng = SmallRng::seed_from_u64(2024);
+    // Random normal floats of both signs and varied magnitudes.
+    let sample = |rng: &mut SmallRng| -> f64 {
+        let mag = rng.gen_range(-300i64..300) as f64;
+        let x = (rng.gen::<f64>() + f64::MIN_POSITIVE) * 10f64.powf(mag / 10.0);
+        if rng.gen::<bool>() {
+            x
+        } else {
+            -x
+        }
+    };
+    for case in 0..4096 {
+        let a = sample(&mut rng);
+        let b = sample(&mut rng);
+        assert_eq!(
+            a < b,
+            f64_to_ordered(a) < f64_to_ordered(b),
+            "case {case}: {a} vs {b}"
+        );
+        assert_eq!(
+            a.to_bits(),
+            ordered_to_f64(f64_to_ordered(a)).to_bits(),
+            "case {case}: {a}"
+        );
     }
 }
