@@ -1,0 +1,364 @@
+//! `differential` — cross-algorithm differential tester under chaos
+//! scheduling.
+//!
+//! ```text
+//! differential sweep [options]     (default command)
+//!   --families LIST   comma list of road,rmat,er,ba,rgg (default: road,rmat,er,ba)
+//!   --gen-seeds LIST  comma list of generator seeds (default: 1,2)
+//!   --chaos-seeds LIST comma list of chaos seeds (default: 1,2,3,4)
+//!   --threads N       pool size per run (default: 4)
+//!   --size N          approximate vertex count per graph (default: 4000)
+//!
+//! differential perf [options]
+//!   --threads N       pool size for construction and the parallel certifier (default: 4)
+//!   --seed N          RMAT seed (default: 42)
+//! ```
+//!
+//! `sweep` fans every algorithm in [`Algorithm::all`] across generator
+//! families × generator seeds × chaos seeds, certifies every output with
+//! the oracle-free near-linear certifier, and cross-checks that all
+//! algorithms return the identical canonical edge set. On any failure it
+//! reports the lexicographically minimal failing `(family, gen-seed,
+//! chaos-seed)` triple — the smallest reproducer — and exits nonzero.
+//!
+//! `perf` demonstrates the certifier's headline property: on a ≥1M-vertex
+//! Graph500 RMAT graph, path-max certification of a parallel Borůvka run
+//! completes in under 10% of that construction's time, with no Kruskal
+//! oracle — certification is cheap enough to ride along every benchmark
+//! run (the `certified` field of `llp-mst-run-report/v1`). Exits nonzero
+//! if the ratio is not met (build with `--release`; debug timings are
+//! meaningless).
+//!
+//! Chaos perturbation requires the `chaos` cargo feature
+//! (`cargo run --release --features chaos --bin differential`); without it
+//! the sweep still runs and certifies, but the chaos seeds are inert and
+//! the binary says so.
+
+use llp_bench::{run_algorithm, Algorithm};
+use llp_graph::algo::largest_component;
+use llp_graph::generators::{
+    barabasi_albert, erdos_renyi, random_geometric, rmat, road_network, RmatParams, RoadParams,
+};
+use llp_graph::CsrGraph;
+use llp_mst::certify::{certify_msf, certify_msf_par};
+use llp_mst::prelude::kruskal;
+use llp_runtime::{chaos, ThreadPool};
+use std::time::Instant;
+
+/// A generator family in the sweep, ordered as written on the command line
+/// (the order used for minimal-reproducer ranking).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Family {
+    Road,
+    Rmat,
+    Er,
+    Ba,
+    Rgg,
+}
+
+impl Family {
+    fn parse(s: &str) -> Option<Family> {
+        match s {
+            "road" => Some(Family::Road),
+            "rmat" => Some(Family::Rmat),
+            "er" => Some(Family::Er),
+            "ba" => Some(Family::Ba),
+            "rgg" => Some(Family::Rgg),
+            _ => None,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Family::Road => "road",
+            Family::Rmat => "rmat",
+            Family::Er => "er",
+            Family::Ba => "ba",
+            Family::Rgg => "rgg",
+        }
+    }
+
+    /// Builds a connected graph of roughly `size` vertices. Families that
+    /// do not guarantee connectivity are cut to their giant component so
+    /// the Prim-family algorithms apply.
+    fn build(&self, size: usize, seed: u64) -> CsrGraph {
+        match self {
+            Family::Road => {
+                let side = (size as f64).sqrt().ceil() as usize;
+                road_network(RoadParams::usa_like(side.max(2), side.max(2), seed))
+            }
+            Family::Rmat => {
+                let scale = (usize::BITS - size.next_power_of_two().leading_zeros() - 1).max(4);
+                largest_component(&rmat(RmatParams::graph500(scale, 8, seed)))
+            }
+            Family::Er => largest_component(&erdos_renyi(size, size * 4, seed)),
+            Family::Ba => barabasi_albert(size, 3, seed),
+            Family::Rgg => {
+                // radius ~ sqrt(8/n) keeps the giant component near-total.
+                let r = (8.0 / size as f64).sqrt();
+                largest_component(&random_geometric(size, r, seed))
+            }
+        }
+    }
+}
+
+struct Options {
+    families: Vec<Family>,
+    gen_seeds: Vec<u64>,
+    chaos_seeds: Vec<u64>,
+    threads: usize,
+    size: usize,
+    seed: u64,
+}
+
+fn parse_list(name: &str, v: &str) -> Vec<u64> {
+    v.split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("{name}: '{s}' is not an integer");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.first().map(String::as_str) {
+        Some("sweep") => ("sweep", &args[1..]),
+        Some("perf") => ("perf", &args[1..]),
+        Some(s) if s.starts_with("--") => ("sweep", &args[..]),
+        None => ("sweep", &args[..]),
+        Some(other) => {
+            eprintln!("unknown command {other}; usage: differential [sweep|perf] [options]");
+            std::process::exit(2);
+        }
+    };
+
+    let mut opts = Options {
+        families: vec![Family::Road, Family::Rmat, Family::Er, Family::Ba],
+        gen_seeds: vec![1, 2],
+        chaos_seeds: vec![1, 2, 3, 4],
+        threads: 4,
+        size: 4000,
+        seed: 42,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--families" => {
+                let v = value("--families");
+                opts.families = v
+                    .split(',')
+                    .map(|s| {
+                        Family::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown family '{s}'");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--gen-seeds" => opts.gen_seeds = parse_list("--gen-seeds", &value("--gen-seeds")),
+            "--chaos-seeds" => {
+                opts.chaos_seeds = parse_list("--chaos-seeds", &value("--chaos-seeds"))
+            }
+            "--threads" => opts.threads = value("--threads").parse().expect("--threads N"),
+            "--size" => opts.size = value("--size").parse().expect("--size N"),
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed N"),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let failed = match command {
+        "sweep" => sweep(&opts),
+        _ => perf(&opts),
+    };
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// One failing configuration, ordered for minimal-reproducer reporting.
+struct Failure {
+    family_rank: usize,
+    family: Family,
+    gen_seed: u64,
+    chaos_seed: u64,
+    algo: Algorithm,
+    what: String,
+}
+
+fn sweep(opts: &Options) -> bool {
+    if !chaos::compiled_in() {
+        println!(
+            "note: chaos feature not compiled in — chaos seeds are inert \
+             (rebuild with --features chaos for schedule perturbation)"
+        );
+    }
+    let pool = ThreadPool::new(opts.threads);
+    let mut failures: Vec<Failure> = Vec::new();
+    let mut runs = 0usize;
+
+    for (family_rank, &family) in opts.families.iter().enumerate() {
+        for &gen_seed in &opts.gen_seeds {
+            let graph = family.build(opts.size, gen_seed);
+            println!(
+                "[{}/seed {}] n={} m={}",
+                family.label(),
+                gen_seed,
+                graph.num_vertices(),
+                graph.num_edges()
+            );
+            // Reference edge set: any certified run would do; use the
+            // deterministic sequential Kruskal output, certified once.
+            let reference = kruskal(&graph);
+            if let Err(e) = certify_msf(&graph, &reference) {
+                failures.push(Failure {
+                    family_rank,
+                    family,
+                    gen_seed,
+                    chaos_seed: 0,
+                    algo: Algorithm::Kruskal,
+                    what: format!("reference Kruskal run failed certification: {e}"),
+                });
+                continue;
+            }
+            let reference_keys = reference.canonical_keys();
+
+            for &chaos_seed in &opts.chaos_seeds {
+                chaos::set_seed(Some(chaos_seed));
+                for &algo in Algorithm::all() {
+                    runs += 1;
+                    let result = run_algorithm(algo, &graph, 0, &pool);
+                    let what = if let Err(e) = certify_msf_par(&graph, &result, &pool) {
+                        Some(format!("certification failed: {e}"))
+                    } else if result.canonical_keys() != reference_keys {
+                        Some(format!(
+                            "edge set diverges from reference ({} vs {} edges, \
+                             weight {} vs {})",
+                            result.edges.len(),
+                            reference.edges.len(),
+                            result.total_weight,
+                            reference.total_weight
+                        ))
+                    } else {
+                        None
+                    };
+                    if let Some(what) = what {
+                        failures.push(Failure {
+                            family_rank,
+                            family,
+                            gen_seed,
+                            chaos_seed,
+                            algo,
+                            what,
+                        });
+                    }
+                }
+                chaos::set_seed(None);
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "OK: {} runs ({} algorithms x {} famil{} x {} gen seed{} x {} chaos seed{}) \
+             all certified and agree",
+            runs,
+            Algorithm::all().len(),
+            opts.families.len(),
+            if opts.families.len() == 1 { "y" } else { "ies" },
+            opts.gen_seeds.len(),
+            if opts.gen_seeds.len() == 1 { "" } else { "s" },
+            opts.chaos_seeds.len(),
+            if opts.chaos_seeds.len() == 1 { "" } else { "s" },
+        );
+        return false;
+    }
+
+    failures.sort_by_key(|f| (f.family_rank, f.gen_seed, f.chaos_seed));
+    let min = &failures[0];
+    println!("FAIL: {} of {} runs failed", failures.len(), runs);
+    println!(
+        "minimal reproducer: --families {} --gen-seeds {} --chaos-seeds {}",
+        min.family.label(),
+        min.gen_seed,
+        min.chaos_seed
+    );
+    println!("  algorithm: {}", min.algo.label());
+    println!("  failure:   {}", min.what);
+    if chaos::compiled_in() {
+        println!("  rerun with LLP_CHAOS_SEED={} --features chaos", min.chaos_seed);
+    }
+    true
+}
+
+fn perf(opts: &Options) -> bool {
+    if cfg!(debug_assertions) {
+        eprintln!("warning: perf mode in a debug build; timings are not meaningful");
+    }
+    // The scale test pairs the certifier with the construction it rides
+    // along with in the harness: a parallel Borůvka run on a Graph500
+    // RMAT graph. Scale 21 keeps the giant component above 1M vertices.
+    println!("building scale-21 Graph500 RMAT graph (giant component)...");
+    let graph = largest_component(&rmat(RmatParams::graph500(21, 8, opts.seed)));
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    println!("graph: n={n} m={m}");
+    assert!(n >= 1_000_000, "scale-21 RMAT giant component must be >= 1M vertices");
+
+    let pool = ThreadPool::new(opts.threads);
+    let t0 = Instant::now();
+    let msf = run_algorithm(Algorithm::Boruvka, &graph, 0, &pool);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "MST construction (parallel Borůvka, {} threads): {build_ms:.1} ms",
+        opts.threads
+    );
+
+    let t1 = Instant::now();
+    certify_msf(&graph, &msf).expect("Borůvka output must certify");
+    let seq_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "certify_msf (sequential):  {seq_ms:8.1} ms ({:.1}% of construction)",
+        100.0 * seq_ms / build_ms
+    );
+
+    let was = llp_runtime::telemetry::enabled();
+    llp_runtime::telemetry::set_enabled(true);
+    llp_runtime::telemetry::begin_run();
+    let t2 = Instant::now();
+    certify_msf_par(&graph, &msf, &pool).expect("Borůvka output must certify");
+    let par_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let report = llp_runtime::telemetry::take_report();
+    llp_runtime::telemetry::set_enabled(was);
+    for p in &report.phases {
+        println!("  phase {:<20} {:>9.1} ms", p.name, p.total_ns as f64 / 1e6);
+    }
+    println!(
+        "certify_msf_par ({} threads): {par_ms:6.1} ms ({:.1}% of construction)",
+        opts.threads,
+        100.0 * par_ms / build_ms
+    );
+
+    let ratio = seq_ms.min(par_ms) / build_ms;
+    if ratio < 0.10 {
+        println!("OK: certification under 10% of construction time, no oracle");
+        false
+    } else {
+        println!(
+            "FAIL: certification took {:.1}% of construction time (>= 10%)",
+            100.0 * ratio
+        );
+        true
+    }
+}

@@ -70,12 +70,17 @@ pub struct RunRecord {
     /// Phase timings / wave histograms / counters from one extra run with
     /// telemetry recording force-enabled.
     pub telemetry: telemetry::RunReport,
+    /// Whether the instrumented run's output passed the oracle-free
+    /// near-linear MSF certifier ([`llp_mst::certify::certify_msf_par`]).
+    pub certified: bool,
 }
 
 /// Like [`time_algorithm`], additionally executing one extra run with
-/// telemetry recording force-enabled to capture a [`telemetry::RunReport`].
-/// The timing statistics come exclusively from the uninstrumented
-/// repetitions, so enabling reports never perturbs the published numbers.
+/// telemetry recording force-enabled to capture a [`telemetry::RunReport`],
+/// and certifying that run's output with the near-linear oracle-free
+/// certifier (recorded as [`RunRecord::certified`]). The timing statistics
+/// come exclusively from the uninstrumented repetitions, so enabling
+/// reports never perturbs the published numbers.
 pub fn time_algorithm_with_report(
     algo: Algorithm,
     w: &Workload,
@@ -87,12 +92,25 @@ pub fn time_algorithm_with_report(
     telemetry::set_enabled(true);
     telemetry::begin_run();
     let pool = ThreadPool::new(threads);
-    let _ = run_algorithm_with_mwe(algo, &w.graph, w.root(), &pool, Some(&w.mwe));
+    let result = run_algorithm_with_mwe(algo, &w.graph, w.root(), &pool, Some(&w.mwe));
+    let certified = match llp_mst::certify::certify_msf_par(&w.graph, &result, &pool) {
+        Ok(()) => true,
+        Err(err) => {
+            eprintln!(
+                "warning: {} on {} with {} threads FAILED certification: {err}",
+                algo.label(),
+                w.name,
+                threads
+            );
+            false
+        }
+    };
     let report = telemetry::take_report();
     telemetry::set_enabled(was_enabled);
     RunRecord {
         sample,
         telemetry: report,
+        certified,
     }
 }
 
@@ -205,13 +223,14 @@ pub fn record_json(r: &RunRecord) -> String {
     format!(
         "{{\"algorithm\":\"{}\",\"workload\":\"{}\",\"threads\":{},\
          \"median_ms\":{:.6},\"min_ms\":{:.6},\"total_weight\":{:.6},\
-         \"stats\":{},\"telemetry\":{}}}",
+         \"certified\":{},\"stats\":{},\"telemetry\":{}}}",
         json_escape(s.algo.label()),
         json_escape(&s.workload),
         s.threads,
         s.median_ms,
         s.min_ms,
         s.total_weight,
+        r.certified,
         stats_json(&s.stats),
         r.telemetry.to_json(),
     )
@@ -227,6 +246,7 @@ pub fn record_json(r: &RunRecord) -> String {
 ///     {
 ///       "algorithm": "...", "workload": "...", "threads": 1,
 ///       "median_ms": 1.5, "min_ms": 1.4, "total_weight": 16.0,
+///       "certified": true,
 ///       "stats": { "heap_pushes": 0, ... },
 ///       "telemetry": { "enabled": true, "phases": [...],
 ///                      "series": [...], "counters": {...} }
@@ -286,6 +306,7 @@ mod tests {
         // The pre-existing enable state is restored.
         assert_eq!(llp_runtime::telemetry::enabled(), was);
         assert!(rec.sample.median_ms > 0.0);
+        assert!(rec.certified, "instrumented run must certify");
         if cfg!(feature = "telemetry") {
             assert!(rec.telemetry.enabled);
             let names: Vec<&str> = rec
@@ -319,6 +340,7 @@ mod tests {
         write_json_report(&path, &[rec.clone(), rec]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("{\"schema\":\"llp-mst-run-report/v1\""));
+        assert!(text.contains("\"certified\":true"));
         assert!(text.contains("\"stats\":{\"heap_pushes\""));
         assert!(text.contains("\"telemetry\":{\"enabled\""));
         // Balanced braces/brackets outside of strings (no strings here

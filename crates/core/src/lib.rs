@@ -19,7 +19,10 @@
 //! then endpoints), realising the paper's unique-weight assumption on any
 //! input; consequently **every algorithm returns the identical canonical
 //! MST/MSF**, which [`verify::verify_msf`] checks against the Kruskal
-//! oracle and the test suite asserts pairwise.
+//! oracle and the test suite asserts pairwise. At road/RMAT scale, where
+//! re-running Kruskal is as expensive as the run under test,
+//! [`certify::certify_msf`] certifies the same property oracle-free in
+//! near-linear time (Borůvka-tree path-max queries).
 //!
 //! Prim-family functions require a connected graph and return
 //! [`result::MstError::Disconnected`] otherwise; Boruvka-family functions
@@ -30,6 +33,7 @@
 //! machine-independent quantities behind the paper's Figs 2–4.
 
 pub mod boruvka;
+pub mod certify;
 pub(crate) mod contraction;
 pub mod filter_kruskal;
 pub mod heap;
@@ -61,6 +65,7 @@ pub mod prelude {
     pub use crate::prim::{prim_indexed, prim_lazy};
     pub use crate::result::{MstError, MstResult};
     pub use crate::stats::AlgoStats;
+    pub use crate::certify::{certify_msf, certify_msf_par};
     pub use crate::tree::RootedForest;
     pub use crate::verify::{verify_cut_property, verify_cycle_property, verify_forest_structure, verify_msf};
 }

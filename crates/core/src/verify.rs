@@ -24,6 +24,10 @@ pub enum VerifyError {
         /// `n - #components` of the input graph.
         want: usize,
     },
+    /// A graph edge connects two trees the result leaves unjoined: the
+    /// forest fails to span a connected component. Carries the offending
+    /// (non-tree) graph edge whose endpoints the forest does not connect.
+    NotSpanning(Edge),
     /// The result's edge set differs from the canonical MSF.
     NotMinimum {
         /// Weight of the submitted forest.
@@ -43,6 +47,12 @@ impl std::fmt::Display for VerifyError {
             VerifyError::WrongEdgeCount { got, want } => {
                 write!(f, "forest has {got} edges, expected {want}")
             }
+            VerifyError::NotSpanning(e) => write!(
+                f,
+                "forest does not span its component: graph edge ({},{}) \
+                 connects two unjoined trees",
+                e.u, e.v
+            ),
             VerifyError::NotMinimum {
                 got_weight,
                 min_weight,
@@ -122,11 +132,9 @@ pub fn verify_cycle_property(graph: &CsrGraph, result: &MstResult) -> Result<(),
             Some(_) => {}
             None => {
                 // Endpoints in different trees but a connecting edge exists:
-                // the forest fails to span a component.
-                return Err(VerifyError::WrongEdgeCount {
-                    got: result.edges.len(),
-                    want: result.edges.len() + 1,
-                });
+                // the forest fails to span a component. (Formerly reported
+                // as `WrongEdgeCount` with a fabricated `want`.)
+                return Err(VerifyError::NotSpanning(e));
             }
         }
     }
@@ -255,6 +263,33 @@ mod tests {
             verify_forest_structure(&g, &partial),
             Err(VerifyError::WrongEdgeCount { got: 1, want: 4 })
         ));
+    }
+
+    #[test]
+    fn cycle_property_reports_non_spanning_with_offending_edge() {
+        let g = fig1();
+        // Drop the (d,e)=2 edge: vertex 4 is stranded, and the graph edges
+        // reaching it cross between unjoined trees.
+        let partial = MstResult::from_edges(
+            5,
+            vec![
+                Edge::new(1, 2, 3.0),
+                Edge::new(0, 2, 4.0),
+                Edge::new(1, 3, 7.0),
+            ],
+            AlgoStats::default(),
+        );
+        match verify_cycle_property(&g, &partial) {
+            Err(VerifyError::NotSpanning(e)) => {
+                assert!(
+                    e.u == 4 || e.v == 4,
+                    "offending edge must touch the stranded vertex, got ({},{})",
+                    e.u,
+                    e.v
+                );
+            }
+            other => panic!("expected NotSpanning, got {other:?}"),
+        }
     }
 
     #[test]

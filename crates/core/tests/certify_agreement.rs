@@ -1,0 +1,81 @@
+//! Seed-sweep agreement between the oracle-free certifier and the
+//! Kruskal-oracle verifier, in both directions: genuine MSFs must be
+//! accepted by both, mutated forests rejected by both. Cases are
+//! deterministic seed sweeps (hermetic builds cannot depend on
+//! `proptest`).
+
+use llp_graph::generators::{erdos_renyi, random_geometric, road_network, RoadParams};
+use llp_graph::{CsrGraph, Edge};
+use llp_mst::prelude::{certify_msf, certify_msf_par, kruskal, verify_msf};
+use llp_mst::{AlgoStats, MstResult};
+use llp_runtime::rng::SmallRng;
+use llp_runtime::ThreadPool;
+
+const CASES: u64 = 16;
+
+/// A spread of families: dense-ish connected, sparse disconnected forest,
+/// geometric, and grid-like road.
+fn graphs(seed: u64) -> Vec<CsrGraph> {
+    vec![
+        erdos_renyi(150, 400, seed),
+        erdos_renyi(120, 90, seed ^ 0xA5),
+        random_geometric(130, 0.18, seed),
+        road_network(RoadParams::usa_like(10, 12, seed)),
+    ]
+}
+
+fn forest(n: usize, edges: Vec<Edge>) -> MstResult {
+    MstResult::from_edges(n, edges, AlgoStats::default())
+}
+
+#[test]
+fn certifier_and_oracle_accept_genuine_msfs() {
+    let pool = ThreadPool::new(3);
+    for seed in 0..CASES {
+        for (gi, g) in graphs(seed).into_iter().enumerate() {
+            let msf = kruskal(&g);
+            verify_msf(&g, &msf).unwrap_or_else(|e| panic!("oracle seed {seed} graph {gi}: {e}"));
+            certify_msf(&g, &msf)
+                .unwrap_or_else(|e| panic!("certifier seed {seed} graph {gi}: {e}"));
+            certify_msf_par(&g, &msf, &pool)
+                .unwrap_or_else(|e| panic!("par certifier seed {seed} graph {gi}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn certifier_and_oracle_reject_mutated_forests() {
+    for seed in 0..CASES {
+        for (gi, g) in graphs(seed).into_iter().enumerate() {
+            let msf = kruskal(&g);
+            if msf.edges.is_empty() {
+                continue;
+            }
+            let n = g.num_vertices();
+            let mut rng = SmallRng::seed_from_u64(seed * 31 + gi as u64);
+            let i = rng.gen_range(0usize..msf.edges.len());
+
+            // Drop one tree edge: no longer spanning.
+            let mut edges = msf.edges.clone();
+            edges.remove(i);
+            let dropped = forest(n, edges);
+            assert!(verify_msf(&g, &dropped).is_err(), "oracle/drop {seed}/{gi}");
+            assert!(certify_msf(&g, &dropped).is_err(), "certify/drop {seed}/{gi}");
+
+            // Heavier weight on one tree edge: foreign to the graph (and
+            // a cut violation against the original edge).
+            let mut edges = msf.edges.clone();
+            edges[i].w += 0.5;
+            let heavier = forest(n, edges);
+            assert!(verify_msf(&g, &heavier).is_err(), "oracle/heavy {seed}/{gi}");
+            assert!(certify_msf(&g, &heavier).is_err(), "certify/heavy {seed}/{gi}");
+
+            // Duplicate one tree edge: a two-edge cycle.
+            let mut edges = msf.edges.clone();
+            edges.push(edges[i]);
+            let cyclic = forest(n, edges);
+            assert!(verify_msf(&g, &cyclic).is_err(), "oracle/cycle {seed}/{gi}");
+            assert!(certify_msf(&g, &cyclic).is_err(), "certify/cycle {seed}/{gi}");
+        }
+    }
+}

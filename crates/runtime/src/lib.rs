@@ -23,9 +23,13 @@
 //! * [`counters`] — relaxed instrumentation counters that let benchmarks
 //!   report machine-independent work metrics (heap operations, rounds,
 //!   pointer jumps) alongside wall-clock times.
+//! * [`chaos`] — seeded schedule perturbation (randomized yields/delays at
+//!   chunk claims, shuffled broadcast start order, adversarial grains)
+//!   behind the `chaos` cargo feature, for concurrency testing.
 
 pub mod atomics;
 pub mod bag;
+pub mod chaos;
 pub mod counters;
 pub mod parallel_for;
 pub mod pool;

@@ -9,24 +9,41 @@ use crate::pool::ThreadPool;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Tuning knobs for a parallel loop.
-#[derive(Debug, Clone, Copy)]
-pub struct ParallelForConfig {
-    /// Number of consecutive indices claimed per atomic fetch.
-    pub grain: usize,
-}
+/// Smallest grain the derived default will pick: below this, the atomic
+/// cursor traffic per chunk outweighs useful work for the loop bodies in
+/// this workspace.
+pub const MIN_DERIVED_GRAIN: usize = 64;
 
-impl Default for ParallelForConfig {
-    fn default() -> Self {
-        ParallelForConfig { grain: 1024 }
-    }
+/// Tuning knobs for a parallel loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelForConfig {
+    /// Number of consecutive indices claimed per atomic fetch. `None`
+    /// (the default) derives a grain from the range length and thread
+    /// count at call time — see [`ParallelForConfig::resolve_grain`].
+    pub grain: Option<usize>,
 }
 
 impl ParallelForConfig {
-    /// A config with the given grain (clamped to at least 1).
+    /// A config with an explicit grain (clamped to at least 1), overriding
+    /// the derived default.
     pub fn with_grain(grain: usize) -> Self {
         ParallelForConfig {
-            grain: grain.max(1),
+            grain: Some(grain.max(1)),
+        }
+    }
+
+    /// The grain a loop over `len` indices on `nthreads` threads will use.
+    ///
+    /// An explicit [`with_grain`](ParallelForConfig::with_grain) wins.
+    /// Otherwise the grain targets ~8 chunks per thread — enough slack for
+    /// dynamic load balancing without serializing ranges that are merely a
+    /// few times larger than a fixed grain (the old hard-coded 1024 ran
+    /// a 4096-element range as 4 chunks, which one worker often swallowed
+    /// whole) — clamped to a floor of [`MIN_DERIVED_GRAIN`].
+    pub fn resolve_grain(&self, len: usize, nthreads: usize) -> usize {
+        match self.grain {
+            Some(g) => g.max(1),
+            None => (len / (nthreads.max(1) * 8)).max(MIN_DERIVED_GRAIN),
         }
     }
 }
@@ -89,7 +106,7 @@ pub fn parallel_for_chunks_ctx<F>(
     if len == 0 {
         return;
     }
-    let grain = config.grain.max(1);
+    let grain = crate::chaos::perturb_grain(config.resolve_grain(len, pool.threads()), len);
     if pool.threads() == 1 || len <= grain {
         f(
             crate::pool::WorkerCtx {
@@ -104,6 +121,7 @@ pub fn parallel_for_chunks_ctx<F>(
     let start = range.start;
     let cursor = AtomicUsize::new(0);
     pool.broadcast(|ctx| loop {
+        crate::chaos::chunk_claim(ctx.tid);
         let lo = cursor.fetch_add(grain, Ordering::Relaxed);
         if lo >= len {
             break;
@@ -186,10 +204,48 @@ mod tests {
     }
 
     #[test]
+    fn derived_grain_scales_with_range_and_threads() {
+        let cfg = ParallelForConfig::default();
+        // ~8 chunks per thread once the range is large enough.
+        assert_eq!(cfg.resolve_grain(1 << 20, 4), (1 << 20) / 32);
+        assert_eq!(cfg.resolve_grain(4096, 4), 128);
+        // Small ranges clamp to the floor instead of degenerating to
+        // one-index chunks.
+        assert_eq!(cfg.resolve_grain(100, 4), MIN_DERIVED_GRAIN);
+        assert_eq!(cfg.resolve_grain(0, 1), MIN_DERIVED_GRAIN);
+        // Explicit grains always win.
+        assert_eq!(ParallelForConfig::with_grain(7).resolve_grain(1 << 20, 8), 7);
+    }
+
+    #[test]
+    fn default_grain_spreads_mid_sized_ranges_over_workers() {
+        // Regression: the old fixed grain of 1024 ran a range of ~2 grains
+        // as 2 chunks, which a single worker usually swallowed whole. The
+        // derived grain must produce enough chunks to occupy the pool.
+        let pool = ThreadPool::new(4);
+        let n = 3000; // just under 3 old-style grains
+        let grain = ParallelForConfig::default().resolve_grain(n, pool.threads());
+        assert!(
+            n / grain >= pool.threads(),
+            "derived grain {grain} yields too few chunks for {n} indices"
+        );
+        assert_eq!(
+            {
+                let acc = AtomicU64::new(0);
+                parallel_for(&pool, 0..n, ParallelForConfig::default(), |i| {
+                    acc.fetch_add(i as u64, Ordering::Relaxed);
+                });
+                acc.load(Ordering::Relaxed)
+            },
+            (0..n as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
     fn zero_grain_is_clamped() {
         let pool = ThreadPool::new(2);
         let cfg = ParallelForConfig::with_grain(0);
-        assert_eq!(cfg.grain, 1);
+        assert_eq!(cfg.grain, Some(1));
         let acc = AtomicU64::new(0);
         parallel_for(&pool, 0..10, cfg, |_| {
             acc.fetch_add(1, Ordering::Relaxed);

@@ -160,7 +160,7 @@ impl ThreadPool {
             call: trampoline::<F>,
         };
 
-        {
+        let epoch = {
             let mut st = self.shared.state.lock();
             debug_assert!(st.task.is_none(), "nested broadcast on the same pool");
             st.task = Some(task);
@@ -168,7 +168,8 @@ impl ThreadPool {
             st.worker_panicked = false;
             st.epoch += 1;
             self.shared.start.notify_all();
-        }
+            st.epoch
+        };
 
         // Ensure we wait for the workers even if the caller's portion panics:
         // the workers hold a raw pointer into our stack frame.
@@ -185,6 +186,7 @@ impl ThreadPool {
         let guard = WaitGuard(&self.shared);
 
         let caller_result = catch_unwind(AssertUnwindSafe(|| {
+            crate::chaos::region_start(0, self.nthreads, epoch);
             f(WorkerCtx {
                 tid: 0,
                 nthreads: self.nthreads,
@@ -220,6 +222,28 @@ impl Drop for ThreadPool {
 }
 
 fn worker_loop(shared: Arc<Shared>, tid: usize, nthreads: usize) {
+    /// Reports this worker done for the epoch on drop. Holding the
+    /// decrement in a drop guard (instead of straight-line code after the
+    /// task) guarantees `remaining` reaches zero on *every* exit path —
+    /// were a panic ever to escape between claiming an epoch and reporting
+    /// completion, `broadcast` would otherwise wait on `remaining` forever.
+    struct EpochDone<'a> {
+        shared: &'a Shared,
+        panicked: bool,
+    }
+    impl Drop for EpochDone<'_> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock();
+            if self.panicked {
+                st.worker_panicked = true;
+            }
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                self.shared.done.notify_all();
+            }
+        }
+    }
+
     let mut last_epoch = 0u64;
     loop {
         let task = {
@@ -231,21 +255,25 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, nthreads: usize) {
                 return;
             }
             last_epoch = st.epoch;
-            st.task.expect("epoch advanced without a task")
+            st.task
         };
 
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            (task.call)(task.data, WorkerCtx { tid, nthreads });
-        }));
-
-        let mut st = shared.state.lock();
-        if result.is_err() {
-            st.worker_panicked = true;
+        // A missing task for an advanced epoch is a pool bug; count it as a
+        // panic rather than dying silently with `remaining` undecremented.
+        let mut done = EpochDone {
+            shared: &shared,
+            panicked: true,
+        };
+        if let Some(task) = task {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                crate::chaos::region_start(tid, nthreads, last_epoch);
+                (task.call)(task.data, WorkerCtx { tid, nthreads });
+            }));
+            done.panicked = result.is_err();
+        } else {
+            debug_assert!(false, "epoch advanced without a task");
         }
-        st.remaining -= 1;
-        if st.remaining == 0 {
-            shared.done.notify_all();
-        }
+        drop(done);
     }
 }
 
@@ -330,6 +358,38 @@ mod tests {
             n.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(n.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn mid_region_panic_on_every_tid_never_deadlocks() {
+        // Regression: a panic on any thread index — including under chaos
+        // start-order shuffling and delays — must propagate out of
+        // `broadcast` without deadlocking on `remaining`, and the pool must
+        // stay usable. When the `chaos` feature is compiled in, this runs
+        // under an active seed; otherwise chaos calls are no-ops.
+        let _serial = crate::chaos::test_lock();
+        crate::chaos::set_seed(Some(0xDEAD));
+        let pool = ThreadPool::new(4);
+        for victim in 0..pool.threads() {
+            let progressed = AtomicUsize::new(0);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                pool.broadcast(|ctx| {
+                    progressed.fetch_add(1, Ordering::Relaxed);
+                    if ctx.tid == victim {
+                        panic!("mid-region boom on tid {}", ctx.tid);
+                    }
+                });
+            }));
+            assert!(r.is_err(), "victim {victim} panic must propagate");
+            assert_eq!(progressed.load(Ordering::Relaxed), pool.threads());
+            // Next region runs normally on the full team.
+            let n = AtomicUsize::new(0);
+            pool.broadcast(|_| {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(n.load(Ordering::Relaxed), pool.threads());
+        }
+        crate::chaos::set_seed(None);
     }
 
     #[test]

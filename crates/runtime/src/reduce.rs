@@ -29,7 +29,7 @@ where
     if len == 0 {
         return identity;
     }
-    let grain = config.grain.max(1);
+    let grain = crate::chaos::perturb_grain(config.resolve_grain(len, pool.threads()), len);
     if pool.threads() == 1 || len <= grain {
         return fold(identity, map(range));
     }
@@ -37,9 +37,10 @@ where
     let start = range.start;
     let cursor = AtomicUsize::new(0);
     let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(pool.threads()));
-    pool.broadcast(|_ctx| {
+    pool.broadcast(|ctx| {
         let mut local: Option<T> = None;
         loop {
+            crate::chaos::chunk_claim(ctx.tid);
             let lo = cursor.fetch_add(grain, Ordering::Relaxed);
             if lo >= len {
                 break;
