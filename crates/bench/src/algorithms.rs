@@ -16,6 +16,8 @@ pub enum Algorithm {
     Kruskal,
     /// Filter-Kruskal (pivot partition + filtering).
     FilterKruskal,
+    /// Filter-Kruskal with partition, filter and sorts on the pool.
+    FilterKruskalPar,
     /// Sequential Boruvka, Algorithm 3.
     BoruvkaSeq,
     /// Parallel Boruvka, GBBS-style (the paper's "Boruvka").
@@ -38,6 +40,7 @@ impl Algorithm {
             Algorithm::PrimIndexed => "Prim (indexed)",
             Algorithm::Kruskal => "Kruskal",
             Algorithm::FilterKruskal => "Filter-Kruskal",
+            Algorithm::FilterKruskalPar => "Filter-Kruskal (par)",
             Algorithm::BoruvkaSeq => "Boruvka (seq)",
             Algorithm::Boruvka => "Boruvka",
             Algorithm::LlpPrimSeq => "LLP-Prim (1T)",
@@ -67,6 +70,7 @@ impl Algorithm {
             Algorithm::PrimIndexed,
             Algorithm::Kruskal,
             Algorithm::FilterKruskal,
+            Algorithm::FilterKruskalPar,
             Algorithm::BoruvkaSeq,
             Algorithm::Boruvka,
             Algorithm::LlpPrimSeq,
@@ -116,6 +120,7 @@ pub fn run_algorithm_with_mwe(
         Algorithm::PrimIndexed => prim_indexed(graph, root).expect(CONNECTED),
         Algorithm::Kruskal => kruskal(graph),
         Algorithm::FilterKruskal => filter_kruskal(graph),
+        Algorithm::FilterKruskalPar => filter_kruskal_par(graph, pool),
         Algorithm::BoruvkaSeq => boruvka_seq(graph),
         Algorithm::Boruvka => boruvka_par(graph, pool),
         Algorithm::LlpPrimSeq => match mwe {
@@ -160,6 +165,8 @@ mod tests {
     fn sequential_flag_consistent() {
         assert!(Algorithm::Prim.is_sequential());
         assert!(Algorithm::LlpPrimSeq.is_sequential());
+        assert!(Algorithm::FilterKruskal.is_sequential());
+        assert!(!Algorithm::FilterKruskalPar.is_sequential());
         assert!(!Algorithm::LlpPrim.is_sequential());
         assert!(!Algorithm::LlpBoruvka.is_sequential());
     }

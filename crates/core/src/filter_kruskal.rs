@@ -1,4 +1,4 @@
-//! Filter-Kruskal (Osipov–Sanders–Singler).
+//! Filter-Kruskal (Osipov–Sanders–Singler), sequential and parallel.
 //!
 //! The practical Kruskal variant: quicksort-style pivot partitioning where
 //! the *light* half is solved first and the *heavy* half is **filtered** —
@@ -6,95 +6,206 @@
 //! without ever being sorted. On random weights the expected work drops
 //! from O(m log m) to O(m + n log n log (m/n)); the paper's §III discusses
 //! Kruskal's sorting bottleneck, and this is the standard engineering
-//! answer to it, included here as an additional baseline.
+//! answer to it.
+//!
+//! [`filter_kruskal_par`] runs the data-parallel steps on the thread pool:
+//! the pivot partition uses the scan-based three-way partition from
+//! [`llp_runtime::partition`], the filter drops intra-component edges with
+//! [`retain_parallel`] over concurrent *read-only* union-find lookups
+//! ([`UnionFind::find_immutable`] snapshots roots without path compression,
+//! so no writes race; a sequential epilogue re-compresses the survivors'
+//! paths), and base-case sorts go through the parallel sample sort. The
+//! union operations themselves stay sequential — they are O(n α(n)) total,
+//! far below the O(m) partition/filter traffic the pool absorbs.
+//!
+//! Both variants share one recursion, so their telemetry — the `partition`
+//! / `filter` spans and the `fk-partition-rounds`, `fk-filter-kept`,
+//! `fk-filter-dropped` counters plus the `fk-recursion-depth` /
+//! `fk-base-case` series — is identical for identical inputs, which the
+//! golden-trace test in `tests/paper_traces.rs` pins down.
 
 use crate::result::MstResult;
 use crate::stats::AlgoStats;
 use crate::union_find::UnionFind;
-use llp_graph::{CsrGraph, Edge};
-use llp_runtime::telemetry;
+use llp_graph::{CsrGraph, Edge, EdgeKey};
+use llp_runtime::partition::{partition3_in_place, partition3_seq, retain_parallel};
+use llp_runtime::sort::par_sort_by_key;
+use llp_runtime::{telemetry, ThreadPool};
 
 /// Below this many edges, sort-and-scan beats further partitioning.
 const BASE_CASE: usize = 1024;
 
+/// The parallel variant partitions a little longer: partition and filter
+/// passes scale with the pool, the base-case union scan does not.
+const PAR_BASE_CASE: usize = 4096;
+
 /// Filter-Kruskal; computes the canonical MSF.
 pub fn filter_kruskal(graph: &CsrGraph) -> MstResult {
+    run(graph, None, BASE_CASE)
+}
+
+/// [`filter_kruskal`] with an explicit base-case threshold (testing knob:
+/// small thresholds force deterministic deep recursions on tiny graphs).
+pub fn filter_kruskal_with_base_case(graph: &CsrGraph, base_case: usize) -> MstResult {
+    run(graph, None, base_case)
+}
+
+/// Parallel Filter-Kruskal: partition, filter and base-case sorts on the
+/// pool; computes the canonical MSF.
+pub fn filter_kruskal_par(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
+    run(graph, Some(pool), PAR_BASE_CASE)
+}
+
+/// [`filter_kruskal_par`] with an explicit base-case threshold.
+pub fn filter_kruskal_par_with_base_case(
+    graph: &CsrGraph,
+    pool: &ThreadPool,
+    base_case: usize,
+) -> MstResult {
+    run(graph, Some(pool), base_case)
+}
+
+fn run(graph: &CsrGraph, pool: Option<&ThreadPool>, base_case: usize) -> MstResult {
     let n = graph.num_vertices();
     let mut edges: Vec<Edge> = graph.edges().collect();
-    let mut uf = UnionFind::new(n);
-    let mut chosen: Vec<Edge> = Vec::with_capacity(n.saturating_sub(1));
-    let mut stats = AlgoStats::default();
     // Introsort-style depth budget: degenerate pivot sequences fall back to
     // sort-and-scan instead of deep recursion.
     let depth_budget = 2 * (usize::BITS - edges.len().leading_zeros()) as usize + 16;
+    let mut ctx = FilterCtx {
+        uf: UnionFind::new(n),
+        chosen: Vec::with_capacity(n.saturating_sub(1)),
+        stats: AlgoStats::default(),
+        pool,
+        base_case: base_case.max(1),
+    };
     {
         let _t = telemetry::span("partition");
         telemetry::record_value("edges-input", edges.len() as u64);
-        recurse(&mut edges, &mut uf, &mut chosen, &mut stats, depth_budget);
+        ctx.recurse(&mut edges, depth_budget, 0);
     }
-    chosen.sort_unstable_by_key(Edge::key); // canonical output order
+    let FilterCtx {
+        mut chosen, stats, ..
+    } = ctx;
+    match pool {
+        // canonical output order
+        Some(pool) => par_sort_by_key(pool, &mut chosen, Edge::key),
+        None => chosen.sort_unstable_by_key(Edge::key),
+    }
     MstResult::from_edges(n, chosen, stats)
 }
 
-fn recurse(
-    edges: &mut Vec<Edge>,
-    uf: &mut UnionFind,
-    chosen: &mut Vec<Edge>,
-    stats: &mut AlgoStats,
-    depth_budget: usize,
-) {
-    // The heavy half is handled by looping (tail recursion elimination);
-    // only the light half recurses.
-    loop {
-        if edges.is_empty() {
-            return;
+/// State threaded through the recursion; `pool: None` is the sequential
+/// variant.
+struct FilterCtx<'p> {
+    uf: UnionFind,
+    chosen: Vec<Edge>,
+    stats: AlgoStats,
+    pool: Option<&'p ThreadPool>,
+    base_case: usize,
+}
+
+impl FilterCtx<'_> {
+    fn recurse(&mut self, edges: &mut Vec<Edge>, depth_budget: usize, depth: u64) {
+        // The heavy half is handled by looping (tail recursion elimination);
+        // only the light half recurses.
+        loop {
+            if edges.is_empty() {
+                return;
+            }
+            if edges.len() <= self.base_case || depth_budget == 0 {
+                telemetry::record_value("fk-base-case", edges.len() as u64);
+                self.sort_and_scan(edges);
+                return;
+            }
+            self.stats.rounds += 1; // partitioning levels
+            telemetry::counter_add("fk-partition-rounds", 1);
+            telemetry::record_value("fk-recursion-depth", depth);
+
+            let pivot = median_of_three(edges);
+            let light_len = self.partition(edges, pivot);
+            let mut heavy = edges.split_off(light_len);
+            self.recurse(edges, depth_budget - 1, depth + 1);
+            self.filter(&mut heavy);
+            *edges = heavy; // loop continues on the filtered heavy half
         }
-        if edges.len() <= BASE_CASE || depth_budget == 0 {
-            edges.sort_unstable_by_key(Edge::key);
-            for e in edges.drain(..) {
-                stats.edges_scanned += 1;
-                if uf.union(e.u, e.v) {
-                    chosen.push(e);
+    }
+
+    /// Three-way pivot partition; returns the light length (keys <= pivot).
+    fn partition(&mut self, edges: &mut [Edge], pivot: EdgeKey) -> usize {
+        let (lt, eq) = match self.pool {
+            Some(pool) => {
+                self.stats.parallel_regions += 1;
+                partition3_in_place(pool, edges, |e| e.key().cmp(&pivot))
+            }
+            None => partition3_seq(edges, |e| e.key().cmp(&pivot)),
+        };
+        lt + eq
+    }
+
+    /// Base case: sort the remaining edges and grow the forest.
+    fn sort_and_scan(&mut self, edges: &mut Vec<Edge>) {
+        match self.pool {
+            Some(pool) => {
+                self.stats.parallel_regions += 1;
+                par_sort_by_key(pool, edges, Edge::key);
+            }
+            None => edges.sort_unstable_by_key(Edge::key),
+        }
+        for e in edges.drain(..) {
+            self.stats.edges_scanned += 1;
+            if self.uf.union(e.u, e.v) {
+                self.chosen.push(e);
+            }
+        }
+    }
+
+    /// Filter step: heavy edges already intra-component cannot be in the
+    /// MSF — drop them before doing any sorting work on them.
+    fn filter(&mut self, heavy: &mut Vec<Edge>) {
+        let _t = telemetry::span("filter");
+        let before = heavy.len();
+        match self.pool {
+            Some(pool) => {
+                self.stats.parallel_regions += 1;
+                // Concurrent lookups snapshot roots read-only: no path
+                // compression during the parallel phase, so threads never
+                // write the parent array they are racing to read.
+                let uf: &UnionFind = &self.uf;
+                retain_parallel(pool, heavy, |e| {
+                    uf.find_immutable(e.u) != uf.find_immutable(e.v)
+                });
+                // Sequential epilogue: path-halve the survivors' endpoints
+                // so later rounds keep union-find's amortised bounds.
+                for e in heavy.iter() {
+                    self.uf.find(e.u);
+                    self.uf.find(e.v);
                 }
             }
-            return;
-        }
-        stats.rounds += 1; // partitioning levels
-
-        // Median-of-three pivot on the canonical key. Keys are distinct, so
-        // the max of the sample is strictly above the pivot: both halves
-        // are non-empty and every level makes progress.
-        let a = edges[0].key();
-        let b = edges[edges.len() / 2].key();
-        let c = edges[edges.len() - 1].key();
-        let pivot = {
-            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-            if c < lo {
-                lo
-            } else if c > hi {
-                hi
-            } else {
-                c
-            }
-        };
-
-        let mut light: Vec<Edge> = Vec::new();
-        let mut heavy: Vec<Edge> = Vec::new();
-        for e in edges.drain(..) {
-            if e.key() <= pivot {
-                light.push(e);
-            } else {
-                heavy.push(e);
+            None => {
+                let uf = &mut self.uf;
+                heavy.retain(|e| uf.find(e.u) != uf.find(e.v));
             }
         }
-        recurse(&mut light, uf, chosen, stats, depth_budget - 1);
-        // Filter step: heavy edges already intra-component cannot be in the
-        // MSF — drop them before doing any sorting work on them.
-        heavy.retain(|e| {
-            stats.edges_scanned += 1;
-            uf.find(e.u) != uf.find(e.v)
-        });
-        *edges = heavy; // loop continues on the filtered heavy half
+        self.stats.edges_scanned += before as u64;
+        telemetry::counter_add("fk-filter-kept", heavy.len() as u64);
+        telemetry::counter_add("fk-filter-dropped", (before - heavy.len()) as u64);
+    }
+}
+
+/// Median-of-three pivot on the canonical key. Keys are distinct (short of
+/// exact duplicate edges), so the max of the sample is strictly above the
+/// pivot: both halves are non-empty and every level makes progress.
+fn median_of_three(edges: &[Edge]) -> EdgeKey {
+    let a = edges[0].key();
+    let b = edges[edges.len() / 2].key();
+    let c = edges[edges.len() - 1].key();
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    if c < lo {
+        lo
+    } else if c > hi {
+        hi
+    } else {
+        c
     }
 }
 
@@ -112,20 +223,53 @@ mod tests {
     }
 
     #[test]
+    fn fig1_mst_par() {
+        let pool = ThreadPool::new(4);
+        let mst = filter_kruskal_par(&fig1(), &pool);
+        assert_eq!(mst.total_weight, FIG1_MST_WEIGHT);
+        assert_eq!(mst.canonical_keys(), kruskal(&fig1()).canonical_keys());
+    }
+
+    #[test]
     fn forest_support() {
         let msf = filter_kruskal(&small_forest());
         assert_eq!(msf.canonical_keys(), kruskal(&small_forest()).canonical_keys());
         assert_eq!(msf.num_trees, 3);
+        let pool = ThreadPool::new(2);
+        let msf_par = filter_kruskal_par(&small_forest(), &pool);
+        assert_eq!(msf_par.canonical_keys(), msf.canonical_keys());
+        assert_eq!(msf_par.num_trees, 3);
     }
 
     #[test]
     fn matches_kruskal_above_base_case() {
         // Enough edges to force real partitioning levels.
+        let pool = ThreadPool::new(4);
         for seed in 0..4 {
             let g = llp_graph::generators::erdos_renyi(800, 6000, seed);
+            let oracle = kruskal(&g).canonical_keys();
             let fk = filter_kruskal(&g);
-            assert_eq!(fk.canonical_keys(), kruskal(&g).canonical_keys(), "seed {seed}");
+            assert_eq!(fk.canonical_keys(), oracle, "seed {seed}");
             assert!(fk.stats.rounds > 0, "partitioning should trigger");
+            let fkp = filter_kruskal_par_with_base_case(&g, &pool, 1024);
+            assert_eq!(fkp.canonical_keys(), oracle, "par, seed {seed}");
+            assert!(fkp.stats.rounds > 0, "parallel partitioning should trigger");
+            assert!(fkp.stats.parallel_regions > 0);
+        }
+    }
+
+    #[test]
+    fn seq_and_par_trace_identically() {
+        // Same base case => same pivots, same partition sizes, same filter
+        // outcomes: the machine-independent stats must agree exactly.
+        let pool = ThreadPool::new(4);
+        for seed in [3u64, 9] {
+            let g = llp_graph::generators::erdos_renyi(600, 5000, seed);
+            let s = filter_kruskal_with_base_case(&g, 256);
+            let p = filter_kruskal_par_with_base_case(&g, &pool, 256);
+            assert_eq!(s.canonical_keys(), p.canonical_keys(), "seed {seed}");
+            assert_eq!(s.stats.rounds, p.stats.rounds, "seed {seed}");
+            assert_eq!(s.stats.edges_scanned, p.stats.edges_scanned, "seed {seed}");
         }
     }
 
@@ -146,29 +290,36 @@ mod tests {
             filter_kruskal(&g).canonical_keys(),
             kruskal(&g).canonical_keys()
         );
+        let pool = ThreadPool::new(2);
+        assert_eq!(
+            filter_kruskal_par_with_base_case(&g, &pool, 8).canonical_keys(),
+            kruskal(&g).canonical_keys()
+        );
     }
 
     #[test]
     fn degenerate_inputs() {
         assert!(filter_kruskal(&CsrGraph::empty(0)).edges.is_empty());
         assert_eq!(filter_kruskal(&CsrGraph::empty(7)).num_trees, 7);
+        let pool = ThreadPool::new(2);
+        assert!(filter_kruskal_par(&CsrGraph::empty(0), &pool).edges.is_empty());
+        assert_eq!(filter_kruskal_par(&CsrGraph::empty(7), &pool).num_trees, 7);
     }
 
     #[test]
     fn road_and_rmat_agreement() {
+        let pool = ThreadPool::new(4);
         let road = llp_graph::generators::road_network(
             llp_graph::generators::RoadParams::usa_like(40, 40, 2),
         );
-        assert_eq!(
-            filter_kruskal(&road).canonical_keys(),
-            kruskal(&road).canonical_keys()
-        );
+        let oracle = kruskal(&road).canonical_keys();
+        assert_eq!(filter_kruskal(&road).canonical_keys(), oracle);
+        assert_eq!(filter_kruskal_par(&road, &pool).canonical_keys(), oracle);
         let rmat = llp_graph::generators::rmat(
             llp_graph::generators::RmatParams::graph500(10, 16, 2),
         );
-        assert_eq!(
-            filter_kruskal(&rmat).canonical_keys(),
-            kruskal(&rmat).canonical_keys()
-        );
+        let oracle = kruskal(&rmat).canonical_keys();
+        assert_eq!(filter_kruskal(&rmat).canonical_keys(), oracle);
+        assert_eq!(filter_kruskal_par(&rmat, &pool).canonical_keys(), oracle);
     }
 }

@@ -10,6 +10,7 @@
 use crate::result::MstResult;
 use crate::stats::AlgoStats;
 use crate::union_find::UnionFind;
+use llp_graph::algo::connected_components;
 use llp_graph::{CsrGraph, Edge};
 use llp_runtime::{sort::par_sort_by_key, ThreadPool};
 
@@ -18,29 +19,36 @@ use llp_runtime::{sort::par_sort_by_key, ThreadPool};
 pub fn kruskal(graph: &CsrGraph) -> MstResult {
     let mut edges: Vec<Edge> = graph.edges().collect();
     edges.sort_unstable_by_key(Edge::key);
-    scan(graph.num_vertices(), edges)
+    scan(graph, edges)
 }
 
 /// Kruskal with the sort done on the thread pool.
 pub fn kruskal_par_sort(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
     let mut edges: Vec<Edge> = graph.edges().collect();
     par_sort_by_key(pool, &mut edges, Edge::key);
-    let mut result = scan(graph.num_vertices(), edges);
+    let mut result = scan(graph, edges);
     result.stats.parallel_regions += 1;
     result
 }
 
-fn scan(n: usize, sorted_edges: Vec<Edge>) -> MstResult {
+fn scan(graph: &CsrGraph, sorted_edges: Vec<Edge>) -> MstResult {
+    let n = graph.num_vertices();
+    // The forest is complete after exactly `n - C` successful unions, where
+    // `C` counts connected components: a BFS labelling is O(n + m) — far
+    // below the O(m log m) sort that precedes this scan — and lets
+    // disconnected inputs stop early too, instead of draining the whole
+    // sorted tail hunting for an (n - 1)-th union that never comes.
+    let msf_edges = n - connected_components(graph).num_components;
     let mut stats = AlgoStats::default();
     let mut uf = UnionFind::new(n);
-    let mut chosen = Vec::with_capacity(n.saturating_sub(1));
+    let mut chosen = Vec::with_capacity(msf_edges);
     for e in sorted_edges {
+        if chosen.len() == msf_edges {
+            break; // spanning forest complete
+        }
         stats.edges_scanned += 1;
         if uf.union(e.u, e.v) {
             chosen.push(e);
-            if chosen.len() + 1 == n {
-                break; // spanning tree complete
-            }
         }
     }
     MstResult::from_edges(n, chosen, stats)
@@ -109,5 +117,39 @@ mod tests {
         let r = kruskal(&g);
         assert_eq!(r.edges.len(), 49);
         assert!(r.stats.edges_scanned < g.num_edges() as u64);
+    }
+
+    #[test]
+    fn early_exit_on_disconnected_forests() {
+        // Two path components plus heavy intra-component extras: the scan
+        // stops after n - C unions instead of draining the sorted tail.
+        let mut b = llp_graph::GraphBuilder::new(40);
+        for i in 1..20u32 {
+            b.add_edge(i - 1, i, i as f64 * 0.001);
+        }
+        for i in 21..40u32 {
+            b.add_edge(i - 1, i, i as f64 * 0.001);
+        }
+        for i in 0..18u32 {
+            b.add_edge(i, i + 2, 1000.0 + i as f64);
+        }
+        for i in 20..38u32 {
+            b.add_edge(i, i + 2, 2000.0 + i as f64);
+        }
+        let g = b.build();
+        let r = kruskal(&g);
+        assert_eq!(r.num_trees, 2);
+        assert_eq!(r.edges.len(), 38); // n - C = 40 - 2
+        assert!(
+            r.stats.edges_scanned < g.num_edges() as u64,
+            "scanned {} of {} edges",
+            r.stats.edges_scanned,
+            g.num_edges()
+        );
+        let pool = ThreadPool::new(2);
+        assert_eq!(
+            kruskal_par_sort(&g, &pool).canonical_keys(),
+            r.canonical_keys()
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! | Prim (indexed heap) | [`prim::prim_indexed`] | Algorithm 2 verbatim |
 //! | Kruskal | [`kruskal::kruskal`] | §III baseline / test oracle |
 //! | Filter-Kruskal | [`filter_kruskal::filter_kruskal`] | practical Kruskal baseline |
+//! | Filter-Kruskal (parallel) | [`filter_kruskal::filter_kruskal_par`] | pool-parallel partition + filter |
 //! | Boruvka (BFS, sequential) | [`boruvka::boruvka_seq`] | Algorithm 3 |
 //! | Parallel Boruvka (GBBS-style) | [`parallel_boruvka::boruvka_par`] | baseline of Figs 3–4 |
 //! | **LLP-Prim** sequential | [`llp_prim::llp_prim_seq`] | Algorithm 5, "LLP-Prim (1T)" |
@@ -56,7 +57,10 @@ pub use stats::AlgoStats;
 /// One-stop imports for examples and downstream code.
 pub mod prelude {
     pub use crate::boruvka::boruvka_seq;
-    pub use crate::filter_kruskal::filter_kruskal;
+    pub use crate::filter_kruskal::{
+        filter_kruskal, filter_kruskal_par, filter_kruskal_par_with_base_case,
+        filter_kruskal_with_base_case,
+    };
     pub use crate::kruskal::{kruskal, kruskal_par_sort};
     pub use crate::hybrid::hybrid_boruvka_prim;
     pub use crate::llp_boruvka::{llp_boruvka, llp_boruvka_from_edges};

@@ -6,10 +6,13 @@
 
 use llp_graph::generators::{erdos_renyi, random_geometric, road_network, RoadParams};
 use llp_graph::{CsrGraph, Edge};
-use llp_mst::prelude::{certify_msf, certify_msf_par, kruskal, verify_msf};
+use llp_mst::prelude::{
+    certify_msf, certify_msf_par, filter_kruskal_par, filter_kruskal_par_with_base_case, kruskal,
+    verify_msf,
+};
 use llp_mst::{AlgoStats, MstResult};
 use llp_runtime::rng::SmallRng;
-use llp_runtime::ThreadPool;
+use llp_runtime::{chaos, ThreadPool};
 
 const CASES: u64 = 16;
 
@@ -77,5 +80,76 @@ fn certifier_and_oracle_reject_mutated_forests() {
             assert!(verify_msf(&g, &cyclic).is_err(), "oracle/cycle {seed}/{gi}");
             assert!(certify_msf(&g, &cyclic).is_err(), "certify/cycle {seed}/{gi}");
         }
+    }
+}
+
+#[test]
+fn filter_kruskal_par_certifies_and_rejects_mutations_under_chaos_seeds() {
+    // The parallel partition/filter paths under every chaos seed the CI
+    // matrix runs: genuine outputs are accepted by oracle and certifier,
+    // mutated ones rejected. Without the `chaos` feature the seeds are
+    // inert and this is a plain accept/reject sweep.
+    let pool = ThreadPool::new(4);
+    for chaos_seed in [1u64, 2, 3, 4] {
+        chaos::set_seed(Some(chaos_seed));
+        for seed in 0..4u64 {
+            for (gi, g) in graphs(seed).into_iter().enumerate() {
+                // A small base case forces partition + filter rounds even on
+                // these sub-threshold graphs.
+                let msf = filter_kruskal_par_with_base_case(&g, &pool, 16);
+                assert_eq!(
+                    msf.canonical_keys(),
+                    filter_kruskal_par(&g, &pool).canonical_keys(),
+                    "base-case invariance {chaos_seed}/{seed}/{gi}"
+                );
+                verify_msf(&g, &msf)
+                    .unwrap_or_else(|e| panic!("oracle {chaos_seed}/{seed}/{gi}: {e}"));
+                certify_msf(&g, &msf)
+                    .unwrap_or_else(|e| panic!("certify {chaos_seed}/{seed}/{gi}: {e}"));
+                certify_msf_par(&g, &msf, &pool)
+                    .unwrap_or_else(|e| panic!("certify_par {chaos_seed}/{seed}/{gi}: {e}"));
+
+                if msf.edges.is_empty() {
+                    continue;
+                }
+                let n = g.num_vertices();
+                let mut rng = SmallRng::seed_from_u64(chaos_seed * 101 + seed * 31 + gi as u64);
+                let i = rng.gen_range(0usize..msf.edges.len());
+
+                let mut edges = msf.edges.clone();
+                edges.remove(i);
+                let dropped = forest(n, edges);
+                assert!(verify_msf(&g, &dropped).is_err(), "oracle/drop {chaos_seed}/{seed}/{gi}");
+                assert!(
+                    certify_msf(&g, &dropped).is_err(),
+                    "certify/drop {chaos_seed}/{seed}/{gi}"
+                );
+
+                let mut edges = msf.edges.clone();
+                edges[i].w += 0.5;
+                let heavier = forest(n, edges);
+                assert!(
+                    verify_msf(&g, &heavier).is_err(),
+                    "oracle/heavy {chaos_seed}/{seed}/{gi}"
+                );
+                assert!(
+                    certify_msf(&g, &heavier).is_err(),
+                    "certify/heavy {chaos_seed}/{seed}/{gi}"
+                );
+
+                let mut edges = msf.edges.clone();
+                edges.push(edges[i]);
+                let cyclic = forest(n, edges);
+                assert!(
+                    verify_msf(&g, &cyclic).is_err(),
+                    "oracle/cycle {chaos_seed}/{seed}/{gi}"
+                );
+                assert!(
+                    certify_msf(&g, &cyclic).is_err(),
+                    "certify/cycle {chaos_seed}/{seed}/{gi}"
+                );
+            }
+        }
+        chaos::set_seed(None);
     }
 }

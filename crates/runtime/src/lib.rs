@@ -19,7 +19,11 @@
 //! * [`atomics`] — `AtomicF64`, order-preserving float encodings, atomic
 //!   fetch-min by key (GBBS `priority_write` analogue).
 //! * [`scan`] — sequential and parallel exclusive prefix sums.
-//! * [`sort`] — parallel merge sort used by the Kruskal baseline.
+//! * [`partition`] — scan-based counting distribution: stable parallel
+//!   three-way partition and parallel retain (Filter-Kruskal's pivot
+//!   partition and filter steps).
+//! * [`sort`] — parallel sample sort (counting distribution into buckets)
+//!   used by the Kruskal family.
 //! * [`counters`] — relaxed instrumentation counters that let benchmarks
 //!   report machine-independent work metrics (heap operations, rounds,
 //!   pointer jumps) alongside wall-clock times.
@@ -32,6 +36,7 @@ pub mod bag;
 pub mod chaos;
 pub mod counters;
 pub mod parallel_for;
+pub mod partition;
 pub mod pool;
 pub mod reduce;
 pub mod rng;

@@ -1,0 +1,370 @@
+//! Scan-based parallel partitioning: counting distribution, stable
+//! three-way partition, and parallel retain.
+//!
+//! Filter-Kruskal's two data-parallel steps — pivot partition and the
+//! filter pass — are both instances of one pattern: classify every element,
+//! prefix-sum the class counts, scatter each element to its slot. The same
+//! counting-distribution machinery backs the sample sort in [`crate::sort`].
+//! The shape mirrors [`crate::scan::exclusive_scan`]: fixed chunks claimed
+//! through an atomic cursor (chaos-instrumented like
+//! [`crate::parallel_for`]), per-chunk class counts, one sequential
+//! exclusive scan of the small count matrix, then a disjoint scatter
+//! through raw pointers. Elements move bitwise through a `MaybeUninit`
+//! scratch buffer, so no `Clone` bound is needed.
+
+use crate::pool::ThreadPool;
+use crate::reduce::SendPtr;
+use crate::scan::exclusive_scan_in_place;
+use crate::sync::Mutex;
+use std::cmp::Ordering as CmpOrdering;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Below this many elements the sequential path wins.
+const PAR_THRESHOLD: usize = 4096;
+
+/// Stably reorders `data` so elements of class `0`, `1`, …, `nclasses - 1`
+/// appear in that order, each class keeping its input order (counting
+/// distribution). Returns the class boundaries: `bounds[c]..bounds[c + 1]`
+/// is the range of class `c`, with `bounds.len() == nclasses + 1`.
+///
+/// `class_of` is called exactly once per element (classes are cached), so
+/// expensive classifiers — union-find lookups, splitter binary searches —
+/// are not re-evaluated during the scatter.
+///
+/// # Panics
+/// Panics when `class_of` returns a value `>= nclasses`.
+pub fn distribute_by_class<T, F>(
+    pool: &ThreadPool,
+    data: &mut [T],
+    nclasses: usize,
+    class_of: F,
+) -> Vec<usize>
+where
+    T: Send + Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    assert!(nclasses >= 1, "need at least one class");
+    assert!(nclasses <= u16::MAX as usize, "class ids are stored as u16");
+    let n = data.len();
+    if n == 0 {
+        return vec![0; nclasses + 1];
+    }
+    if pool.threads() == 1 || n < PAR_THRESHOLD {
+        return distribute_seq(data, nclasses, &class_of);
+    }
+
+    let nchunks = (pool.threads() * 8).min(n);
+    let chunk = n.div_ceil(nchunks);
+    let nchunks = n.div_ceil(chunk);
+
+    // Pass 1: classify, caching class ids and per-chunk class counts.
+    // Counts are laid out class-major (`[class][chunk]`) so a single
+    // exclusive scan yields every (class, chunk) scatter base offset.
+    let mut classes: Vec<u16> = vec![0; n];
+    let counts: Mutex<Vec<u64>> = Mutex::new(vec![0; nclasses * nchunks]);
+    {
+        let classes_ptr = SendPtr::new(classes.as_mut_ptr());
+        let data_ro: &[T] = data;
+        let class_of = &class_of;
+        let counts = &counts;
+        let cursor = AtomicUsize::new(0);
+        pool.broadcast(|ctx| {
+            let mut local: Vec<(usize, Vec<u64>)> = Vec::new();
+            loop {
+                crate::chaos::chunk_claim(ctx.tid);
+                let b = cursor.fetch_add(1, Ordering::Relaxed);
+                if b >= nchunks {
+                    break;
+                }
+                let lo = b * chunk;
+                let hi = ((b + 1) * chunk).min(n);
+                let mut cnt = vec![0u64; nclasses];
+                for (i, x) in data_ro.iter().enumerate().take(hi).skip(lo) {
+                    let c = class_of(x);
+                    assert!(c < nclasses, "class {c} out of range (nclasses {nclasses})");
+                    cnt[c] += 1;
+                    // SAFETY: chunks are disjoint index ranges of `classes`.
+                    unsafe { *classes_ptr.get().add(i) = c as u16 };
+                }
+                local.push((b, cnt));
+            }
+            let mut counts = counts.lock();
+            for (b, cnt) in local {
+                for (c, v) in cnt.into_iter().enumerate() {
+                    counts[c * nchunks + b] = v;
+                }
+            }
+        });
+    }
+
+    // Pass 2 (sequential, nclasses * nchunks entries): scan the count matrix.
+    let mut offsets = counts.into_inner();
+    let total = exclusive_scan_in_place(&mut offsets);
+    debug_assert_eq!(total as usize, n);
+    let mut bounds: Vec<usize> = (0..nclasses)
+        .map(|c| offsets[c * nchunks] as usize)
+        .collect();
+    bounds.push(n);
+
+    // Pass 3: scatter each chunk's elements to their class slots.
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit` needs no initialisation; the scatter below
+    // writes every slot exactly once (the scanned offsets partition 0..n).
+    unsafe { scratch.set_len(n) };
+    {
+        let scratch_ptr = SendPtr::new(scratch.as_mut_ptr() as *mut T);
+        let data_ro: &[T] = data;
+        let classes_ro: &[u16] = &classes;
+        let offsets_ro: &[u64] = &offsets;
+        let cursor = AtomicUsize::new(0);
+        pool.broadcast(|ctx| loop {
+            crate::chaos::chunk_claim(ctx.tid);
+            let b = cursor.fetch_add(1, Ordering::Relaxed);
+            if b >= nchunks {
+                break;
+            }
+            let lo = b * chunk;
+            let hi = ((b + 1) * chunk).min(n);
+            let mut cursors: Vec<usize> = (0..nclasses)
+                .map(|c| offsets_ro[c * nchunks + b] as usize)
+                .collect();
+            for (i, &cls) in classes_ro.iter().enumerate().take(hi).skip(lo) {
+                let c = cls as usize;
+                let dst = cursors[c];
+                cursors[c] += 1;
+                // SAFETY: the scan makes (class, chunk) destination ranges
+                // disjoint, so each scratch slot is written exactly once;
+                // the element is moved bitwise — never dropped or aliased.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        data_ro.as_ptr().add(i),
+                        scratch_ptr.get().add(dst),
+                        1,
+                    );
+                }
+            }
+        });
+    }
+    // SAFETY: every element of `data` was moved into `scratch` exactly once;
+    // copying the permutation back restores ownership in `data`. `scratch`
+    // holds `MaybeUninit<T>`, so dropping it frees memory without dropping
+    // any `T`.
+    unsafe {
+        std::ptr::copy_nonoverlapping(scratch.as_ptr() as *const T, data.as_mut_ptr(), n);
+    }
+    bounds
+}
+
+/// Sequential [`distribute_by_class`] (same counting scatter, one thread).
+fn distribute_seq<T, F>(data: &mut [T], nclasses: usize, class_of: &F) -> Vec<usize>
+where
+    F: Fn(&T) -> usize,
+{
+    let n = data.len();
+    let mut classes: Vec<u16> = Vec::with_capacity(n);
+    let mut counts: Vec<u64> = vec![0; nclasses];
+    for x in data.iter() {
+        let c = class_of(x);
+        assert!(c < nclasses, "class {c} out of range (nclasses {nclasses})");
+        classes.push(c as u16);
+        counts[c] += 1;
+    }
+    exclusive_scan_in_place(&mut counts);
+    let mut bounds: Vec<usize> = counts.iter().map(|&c| c as usize).collect();
+    bounds.push(n);
+    let mut cursors: Vec<usize> = bounds[..nclasses].to_vec();
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit` needs no initialisation; every slot is written
+    // exactly once below before the copy back reads it.
+    unsafe { scratch.set_len(n) };
+    for (i, &c) in classes.iter().enumerate() {
+        let dst = cursors[c as usize];
+        cursors[c as usize] += 1;
+        // SAFETY: one cursor step per element keeps destinations disjoint;
+        // the element is moved bitwise, never dropped here.
+        unsafe { scratch[dst].write(std::ptr::read(&data[i])) };
+    }
+    // SAFETY: as in the parallel path — each element moved exactly once.
+    unsafe {
+        std::ptr::copy_nonoverlapping(scratch.as_ptr() as *const T, data.as_mut_ptr(), n);
+    }
+    bounds
+}
+
+/// Stable three-way partition by an [`Ordering`](CmpOrdering)-valued
+/// classifier: `Less` elements first, then `Equal`, then `Greater`, each
+/// class keeping its input order. Returns `(lt_len, eq_len)`.
+pub fn partition3_in_place<T, F>(pool: &ThreadPool, data: &mut [T], classify: F) -> (usize, usize)
+where
+    T: Send + Sync,
+    F: Fn(&T) -> CmpOrdering + Sync,
+{
+    let bounds = distribute_by_class(pool, data, 3, |x| match classify(x) {
+        CmpOrdering::Less => 0,
+        CmpOrdering::Equal => 1,
+        CmpOrdering::Greater => 2,
+    });
+    (bounds[1], bounds[2] - bounds[1])
+}
+
+/// Sequential [`partition3_in_place`], for callers without a pool.
+pub fn partition3_seq<T, F>(data: &mut [T], classify: F) -> (usize, usize)
+where
+    F: Fn(&T) -> CmpOrdering,
+{
+    let bounds = distribute_seq(data, 3, &|x: &T| match classify(x) {
+        CmpOrdering::Less => 0,
+        CmpOrdering::Equal => 1,
+        CmpOrdering::Greater => 2,
+    });
+    (bounds[1], bounds[2] - bounds[1])
+}
+
+/// Parallel stable retain: keeps the elements satisfying `keep`, in input
+/// order, and drops the rest — [`Vec::retain`] with the predicate evaluated
+/// across the pool (exactly once per element).
+pub fn retain_parallel<T, F>(pool: &ThreadPool, data: &mut Vec<T>, keep: F)
+where
+    T: Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let bounds = distribute_by_class(pool, data, 2, |x| usize::from(!keep(x)));
+    data.truncate(bounds[1]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+
+    fn pseudo_random(n: usize) -> Vec<u64> {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distribute_matches_stable_sort_by_class() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            for n in [0usize, 1, 7, 4095, 4096, 50_000] {
+                for nclasses in [1usize, 2, 3, 16, 255] {
+                    let mut v: Vec<(u64, usize)> = pseudo_random(n)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, x)| (x, i))
+                        .collect();
+                    let mut want = v.clone();
+                    want.sort_by_key(|&(x, _)| x as usize % nclasses); // stable
+                    let bounds =
+                        distribute_by_class(&pool, &mut v, nclasses, |&(x, _)| {
+                            x as usize % nclasses
+                        });
+                    assert_eq!(v, want, "threads={threads} n={n} nclasses={nclasses}");
+                    assert_eq!(bounds.len(), nclasses + 1);
+                    assert_eq!(bounds[0], 0);
+                    assert_eq!(bounds[nclasses], n);
+                    for c in 0..nclasses {
+                        assert!(v[bounds[c]..bounds[c + 1]]
+                            .iter()
+                            .all(|&(x, _)| x as usize % nclasses == c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition3_is_stable_and_counts_match() {
+        let pool = ThreadPool::new(4);
+        for n in [0usize, 1, 100, 4096, 30_000] {
+            let mut v = pseudo_random(n);
+            let pivot = u64::MAX / 3;
+            let want_lt: Vec<u64> = v.iter().copied().filter(|&x| x < pivot).collect();
+            let want_eq: Vec<u64> = v.iter().copied().filter(|&x| x == pivot).collect();
+            let want_gt: Vec<u64> = v.iter().copied().filter(|&x| x > pivot).collect();
+            let (lt, eq) = partition3_in_place(&pool, &mut v, |x| x.cmp(&pivot));
+            assert_eq!(lt, want_lt.len(), "n={n}");
+            assert_eq!(eq, want_eq.len(), "n={n}");
+            assert_eq!(&v[..lt], &want_lt[..], "n={n}");
+            assert_eq!(&v[lt..lt + eq], &want_eq[..], "n={n}");
+            assert_eq!(&v[lt + eq..], &want_gt[..], "n={n}");
+        }
+    }
+
+    #[test]
+    fn partition3_seq_matches_parallel() {
+        let pool = ThreadPool::new(4);
+        let pivot = u64::MAX / 2;
+        let mut a = pseudo_random(10_000);
+        let mut b = a.clone();
+        let ra = partition3_in_place(&pool, &mut a, |x| x.cmp(&pivot));
+        let rb = partition3_seq(&mut b, |x| x.cmp(&pivot));
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn retain_matches_vec_retain() {
+        let pool = ThreadPool::new(4);
+        for n in [0usize, 10, 4096, 40_000] {
+            let mut v = pseudo_random(n);
+            let mut want = v.clone();
+            want.retain(|&x| x % 3 == 0);
+            retain_parallel(&pool, &mut v, |&x| x % 3 == 0);
+            assert_eq!(v, want, "n={n}");
+        }
+    }
+
+    /// A non-`Clone` payload whose drops are counted: proves the scatter
+    /// neither duplicates nor leaks elements, and that `retain_parallel`
+    /// drops exactly the rejected ones.
+    struct Tracked {
+        value: u64,
+        drops: Arc<StdAtomicUsize>,
+    }
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn retain_drops_each_rejected_element_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let n = 20_000usize;
+        let mut v: Vec<Tracked> = pseudo_random(n)
+            .into_iter()
+            .map(|x| Tracked {
+                value: x,
+                drops: Arc::clone(&drops),
+            })
+            .collect();
+        retain_parallel(&pool, &mut v, |t| t.value % 4 != 0);
+        let kept = v.len();
+        let rejected = n - kept;
+        assert_eq!(drops.load(Ordering::Relaxed), rejected);
+        assert!(v.iter().all(|t| t.value % 4 != 0));
+        drop(v);
+        assert_eq!(drops.load(Ordering::Relaxed), n, "every element dropped once");
+    }
+
+    #[test]
+    fn out_of_range_class_panics() {
+        let pool = ThreadPool::new(1);
+        let mut v = vec![1u64, 2, 3];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            distribute_by_class(&pool, &mut v, 2, |&x| x as usize);
+        }));
+        assert!(r.is_err());
+    }
+}

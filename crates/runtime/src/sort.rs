@@ -1,139 +1,89 @@
-//! Parallel merge sort.
+//! Parallel sample sort (counting distribution into buckets).
 //!
 //! Kruskal's baseline sorts the whole edge array; GBBS uses a parallel
-//! sample sort for the same purpose. A chunked merge sort is simpler and
-//! within a small constant of optimal for our sizes: sort one chunk per
-//! thread in parallel, then merge pairs of runs in parallel passes.
+//! sample sort for the same purpose, and so does this module: sample keys
+//! at fixed strides, pick equally spaced splitters, classify every element
+//! into a bucket with a binary search over the splitters, move it there
+//! with the counting-distribution scatter from [`crate::partition`], and
+//! sort the buckets in parallel. Elements move bitwise through the
+//! distribution's scratch buffer, so — unlike the chunked merge sort this
+//! replaces — the hot path needs no `Clone` bound and performs no
+//! per-element clones.
 
+use crate::partition::distribute_by_class;
 use crate::pool::ThreadPool;
-
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Sorts `data` by `key`, using the pool for chunk sorting and merging.
+/// Below this many elements `slice::sort_unstable_by_key` wins outright.
+const SEQ_CUTOFF: usize = 8192;
+
+/// Candidate keys sampled per bucket; oversampling evens out bucket sizes.
+const OVERSAMPLE: usize = 8;
+
+/// Sorts `data` by `key`, using the pool to classify, scatter and sort
+/// buckets.
 ///
-/// The sort is stable across equal keys within a chunk boundary only; all
-/// callers in this workspace use strictly totally ordered keys, where
-/// stability is vacuous.
+/// The sort is not stable; all callers in this workspace use strictly
+/// totally ordered keys, where stability is vacuous. `key` is recomputed
+/// per comparison (as with `sort_unstable_by_key`), so it should stay
+/// cheap.
 pub fn par_sort_by_key<T, K, F>(pool: &ThreadPool, data: &mut [T], key: F)
 where
-    T: Send + Sync + Clone,
-    K: Ord,
+    T: Send + Sync,
+    K: Ord + Sync,
     F: Fn(&T) -> K + Sync,
 {
     let n = data.len();
     let nthreads = pool.threads();
-    if nthreads == 1 || n < 8192 {
+    if nthreads == 1 || n < SEQ_CUTOFF {
         data.sort_unstable_by_key(|a| key(a));
         return;
     }
 
-    // Phase 1: split into `nthreads` runs, sort each in parallel.
-    let nruns = nthreads;
-    let run_len = n.div_ceil(nruns);
-    let mut bounds: Vec<(usize, usize)> = (0..nruns)
-        .map(|r| (r * run_len, ((r + 1) * run_len).min(n)))
-        .filter(|(lo, hi)| lo < hi)
+    // Pick `nbuckets - 1` splitters from a deterministic strided sample
+    // (more buckets than threads smooths skew under dynamic claiming; no
+    // OS entropy, so runs are reproducible).
+    let nbuckets = (nthreads * 4).clamp(2, 256);
+    let sample_len = nbuckets * OVERSAMPLE; // <= 2048 <= SEQ_CUTOFF <= n
+    let stride = n / sample_len;
+    let mut sample: Vec<K> = (0..sample_len).map(|s| key(&data[s * stride])).collect();
+    sample.sort_unstable();
+    // Consume the sample so splitters are moved out, not cloned.
+    let splitters: Vec<K> = sample
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, k)| (i != 0 && i % OVERSAMPLE == 0).then_some(k))
         .collect();
+    debug_assert_eq!(splitters.len(), nbuckets - 1);
 
-    {
-        // Hand each worker run indices via an atomic cursor; each run is a
-        // disjoint sub-slice, accessed through a raw pointer.
-        let base = crate::reduce::SendPtr::new(data.as_mut_ptr());
-        let cursor = AtomicUsize::new(0);
-        let bounds_ref = &bounds;
-        let key = &key;
-        pool.broadcast(|_| loop {
-            let r = cursor.fetch_add(1, Ordering::Relaxed);
-            if r >= bounds_ref.len() {
-                break;
-            }
-            let (lo, hi) = bounds_ref[r];
-            // SAFETY: runs are disjoint index ranges of `data`.
-            let run =
+    // Bucket b holds the keys k with splitters[b-1] <= k < splitters[b]
+    // (duplicate splitter runs simply leave some buckets empty).
+    let key_ref = &key;
+    let splitters_ref = &splitters;
+    let bounds = distribute_by_class(pool, data, nbuckets, |x| {
+        let k = key_ref(x);
+        splitters_ref.partition_point(|s| *s <= k)
+    });
+
+    // Sort the buckets in parallel: disjoint sub-slices claimed through an
+    // atomic cursor, chaos-instrumented like `parallel_for` chunks.
+    let base = crate::reduce::SendPtr::new(data.as_mut_ptr());
+    let bounds_ref = &bounds;
+    let cursor = AtomicUsize::new(0);
+    pool.broadcast(|ctx| loop {
+        crate::chaos::chunk_claim(ctx.tid);
+        let b = cursor.fetch_add(1, Ordering::Relaxed);
+        if b >= nbuckets {
+            break;
+        }
+        let (lo, hi) = (bounds_ref[b], bounds_ref[b + 1]);
+        if hi - lo > 1 {
+            // SAFETY: buckets are disjoint index ranges of `data`.
+            let bucket =
                 unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
-            run.sort_unstable_by_key(|a| key(a));
-        });
-    }
-
-    // Phase 2: merge adjacent runs pairwise until one run remains.
-    let mut buf: Vec<T> = data.to_vec();
-    let mut src_is_data = true;
-    while bounds.len() > 1 {
-        let pairs: Vec<((usize, usize), (usize, usize))> = bounds
-            .chunks(2)
-            .filter(|c| c.len() == 2)
-            .map(|c| (c[0], c[1]))
-            .collect();
-        let tail = if bounds.len() % 2 == 1 {
-            Some(*bounds.last().unwrap())
-        } else {
-            None
-        };
-
-        {
-            let (src, dst): (&[T], &mut [T]) = if src_is_data {
-                (&*data, &mut buf)
-            } else {
-                (&buf, data)
-            };
-            let dst_ptr = crate::reduce::SendPtr::new(dst.as_mut_ptr());
-            let cursor = AtomicUsize::new(0);
-            let pairs_ref = &pairs;
-            let key = &key;
-            pool.broadcast(|_| loop {
-                let p = cursor.fetch_add(1, Ordering::Relaxed);
-                if p >= pairs_ref.len() {
-                    break;
-                }
-                let ((alo, ahi), (blo, bhi)) = pairs_ref[p];
-                let mut i = alo;
-                let mut j = blo;
-                let mut o = alo;
-                // SAFETY: output range [alo, bhi) is disjoint per pair.
-                unsafe {
-                    while i < ahi && j < bhi {
-                        if key(&src[i]) <= key(&src[j]) {
-                            *dst_ptr.get().add(o) = src[i].clone();
-                            i += 1;
-                        } else {
-                            *dst_ptr.get().add(o) = src[j].clone();
-                            j += 1;
-                        }
-                        o += 1;
-                    }
-                    while i < ahi {
-                        *dst_ptr.get().add(o) = src[i].clone();
-                        i += 1;
-                        o += 1;
-                    }
-                    while j < bhi {
-                        *dst_ptr.get().add(o) = src[j].clone();
-                        j += 1;
-                        o += 1;
-                    }
-                }
-            });
-            // Copy the unpaired tail run through unchanged.
-            if let Some((lo, hi)) = tail {
-                dst[lo..hi].clone_from_slice(&src[lo..hi]);
-            }
+            bucket.sort_unstable_by_key(|a| key_ref(a));
         }
-
-        let mut next = Vec::with_capacity(bounds.len().div_ceil(2));
-        for c in bounds.chunks(2) {
-            if c.len() == 2 {
-                next.push((c[0].0, c[1].1));
-            } else {
-                next.push(c[0]);
-            }
-        }
-        bounds = next;
-        src_is_data = !src_is_data;
-    }
-
-    if !src_is_data {
-        data.clone_from_slice(&buf);
-    }
+    });
 }
 
 /// Convenience: parallel sort of items that are themselves `Ord`.
@@ -196,5 +146,33 @@ mod tests {
         want.sort_unstable();
         par_sort(&pool, &mut v);
         assert_eq!(v, want);
+    }
+
+    #[test]
+    fn all_equal_keys() {
+        // Every element lands in a single bucket; still sorted, nothing lost.
+        let pool = ThreadPool::new(4);
+        let mut v = vec![42u64; 25_000];
+        par_sort(&pool, &mut v);
+        assert_eq!(v, vec![42u64; 25_000]);
+    }
+
+    /// Deliberately neither `Clone` nor `Copy`: the sample sort must move
+    /// elements bitwise instead of cloning them.
+    struct NoClone(u64, #[allow(dead_code)] Box<u64>);
+
+    #[test]
+    fn sorts_non_clone_payloads() {
+        let pool = ThreadPool::new(4);
+        let mut v: Vec<NoClone> = pseudo_random(20_000)
+            .into_iter()
+            .map(|x| NoClone(x, Box::new(x ^ 0xFF)))
+            .collect();
+        let mut want: Vec<u64> = v.iter().map(|e| e.0).collect();
+        want.sort_unstable();
+        par_sort_by_key(&pool, &mut v, |e| e.0);
+        let got: Vec<u64> = v.iter().map(|e| e.0).collect();
+        assert_eq!(got, want);
+        assert!(v.iter().all(|e| *e.1 == e.0 ^ 0xFF), "payload boxes intact");
     }
 }

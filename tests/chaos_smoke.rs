@@ -27,6 +27,13 @@ fn all_algorithms_certify_under_chaos_seeds() {
             let results: Vec<(&str, MstResult)> = vec![
                 ("kruskal_par_sort", kruskal_par_sort(g, &pool)),
                 ("filter_kruskal", filter_kruskal(g)),
+                ("filter_kruskal_par", filter_kruskal_par(g, &pool)),
+                // Small base case: partition + filter rounds actually run on
+                // the pool under each chaos schedule, not just the base sort.
+                (
+                    "filter_kruskal_par(base=64)",
+                    filter_kruskal_par_with_base_case(g, &pool, 64),
+                ),
                 ("boruvka_seq", boruvka_seq(g)),
                 ("boruvka_par", boruvka_par(g, &pool)),
                 ("llp_boruvka", llp_boruvka(g, &pool)),

@@ -1,10 +1,11 @@
 //! End-to-end checks of the paper's worked examples and stated claims.
 
-use llp_mst_suite::graph::samples::{fig1, FIG1_MST_WEIGHT};
+use llp_mst_suite::graph::samples::{fig1, small_forest, FIG1_MST_WEIGHT};
 use llp_mst_suite::llp::instances::PointerJump;
 use llp_mst_suite::llp::{solve_parallel, solve_sequential};
 use llp_mst_suite::mst::spec::LlpPrimSpec;
 use llp_mst_suite::prelude::*;
+use llp_mst_suite::runtime::telemetry;
 
 /// §IV: "the edges are added to the tree in the order 4, 3, 7, 2" (Prim
 /// from vertex a).
@@ -111,6 +112,102 @@ fn llp_prim_fixes_many_vertices_per_heap_pop() {
     assert!(
         fixes_per_pop > 1.0,
         "early fixing should dominate: {fixes_per_pop:.2} early fixes per heap fix"
+    );
+}
+
+/// Golden Filter-Kruskal trace on the paper's example graphs: with the
+/// base case pinned to 2 edges, the recursion structure — partition
+/// rounds, filter outcomes, recursion depth, base-case sizes — is fully
+/// determined by the canonical `EdgeKey` order, and the sequential and
+/// pool-parallel variants must produce byte-identical traces (they share
+/// one recursion; only the substrate differs).
+#[test]
+fn filter_kruskal_golden_trace_on_paper_graphs() {
+    // With the `telemetry` feature compiled out every probe is a no-op and
+    // there is no trace to pin; result agreement is covered elsewhere.
+    let was = telemetry::enabled();
+    telemetry::set_enabled(true);
+    let compiled_in = telemetry::enabled();
+    telemetry::set_enabled(was);
+    if !compiled_in {
+        return;
+    }
+
+    fn fk_trace(g: &llp_mst_suite::graph::CsrGraph, pool: Option<&ThreadPool>) -> Trace {
+        let was = telemetry::enabled();
+        telemetry::set_enabled(true);
+        telemetry::begin_run();
+        let result = match pool {
+            Some(pool) => filter_kruskal_par_with_base_case(g, pool, 2),
+            None => filter_kruskal_with_base_case(g, 2),
+        };
+        let report = telemetry::take_report();
+        telemetry::set_enabled(was);
+        let counter = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |&(_, v)| v)
+        };
+        let series = |name: &str| {
+            report
+                .series
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| (s.count, s.sum, s.max))
+        };
+        Trace {
+            keys: result.canonical_keys(),
+            partition_rounds: counter("fk-partition-rounds"),
+            filter_kept: counter("fk-filter-kept"),
+            filter_dropped: counter("fk-filter-dropped"),
+            recursion_depth: series("fk-recursion-depth"),
+            base_case: series("fk-base-case"),
+        }
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Trace {
+        keys: Vec<llp_mst_suite::graph::EdgeKey>,
+        partition_rounds: u64,
+        filter_kept: u64,
+        filter_dropped: u64,
+        /// (samples, sum, max) of the per-round recursion depth.
+        recursion_depth: Option<(u64, u64, u64)>,
+        /// (samples, sum, max) of base-case sizes.
+        base_case: Option<(u64, u64, u64)>,
+    }
+
+    let pool = ThreadPool::new(4);
+
+    // Fig. 1 (5 vertices, 7 edges, MST {2, 3, 4, 7}): three partition
+    // rounds reaching depth 1; the filter inspects 6 heavy edges across the
+    // rounds, dropping 2 as intra-component.
+    let g = fig1();
+    let seq = fk_trace(&g, None);
+    assert_eq!(seq.keys, kruskal(&g).canonical_keys());
+    assert_eq!(seq.partition_rounds, 3);
+    assert_eq!(seq.filter_kept, 4);
+    assert_eq!(seq.filter_dropped, 2);
+    assert_eq!(seq.recursion_depth, Some((3, 1, 1)));
+    assert_eq!(seq.base_case, Some((3, 5, 2)));
+    assert_eq!(fk_trace(&g, Some(&pool)), seq, "fig1: par trace must match seq");
+
+    // The disconnected forest sample (4 edges, 3 trees): one partition
+    // round at depth 0; the filter drops 1 of 2 heavy edges.
+    let g = small_forest();
+    let seq = fk_trace(&g, None);
+    assert_eq!(seq.keys, kruskal(&g).canonical_keys());
+    assert_eq!(seq.partition_rounds, 1);
+    assert_eq!(seq.filter_kept, 1);
+    assert_eq!(seq.filter_dropped, 1);
+    assert_eq!(seq.recursion_depth, Some((1, 0, 0)));
+    assert_eq!(seq.base_case, Some((2, 3, 2)));
+    assert_eq!(
+        fk_trace(&g, Some(&pool)),
+        seq,
+        "small_forest: par trace must match seq"
     );
 }
 
