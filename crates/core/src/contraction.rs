@@ -1,34 +1,64 @@
-//! Shared Boruvka contraction machinery (one LLP round of Algorithm 6).
+//! Shared Boruvka contraction machinery (one LLP round of Algorithm 6),
+//! built on the flat-memory round engine.
 //!
 //! Used by [`crate::llp_boruvka`] (which runs rounds to exhaustion) and by
 //! [`crate::hybrid`] (which runs a few rounds and finishes with Prim on the
 //! contracted graph, a classic practical variant the paper's future-work
 //! section gestures at).
+//!
+//! ## Flat-memory round engine
+//!
+//! Round state lives in plain `u64`/`u32` buffers leased from a
+//! [`ScratchArena`] and viewed as atomics only inside the parallel regions
+//! that need concurrency:
+//!
+//! * the per-vertex MWE cell is a single packed [`AtomicU64`] word —
+//!   weight discriminant high, edge index low (see
+//!   [`llp_runtime::atomics::mwe_propose`]) — replacing the old two-word
+//!   `AtomicIndexMin` protocol whose key function chased `work -> keys`
+//!   through two extra cache lines per propose;
+//! * the survivor filter and endpoint relabel are fused into one
+//!   count–scan–scatter pass into a double-buffered [`WorkEdge`] array
+//!   (buffers swap between rounds, so steady-state rounds allocate
+//!   nothing);
+//! * the dense root renumbering writes only root slots of an uninitialised
+//!   leased buffer — no `u32::MAX` prefill pass.
+//!
+//! Because component counts shrink geometrically, every leased buffer fits
+//! inside its round-1 incarnation; from round 2 on the engine performs zero
+//! heap allocations (pinned by `tests/zero_alloc.rs`).
 
 use crate::stats::AlgoStats;
 use llp_graph::{CsrGraph, Edge, EdgeKey};
-use llp_runtime::atomics::{AtomicIndexMin, NO_INDEX};
+use llp_runtime::atomics::{as_atomic_u32, as_atomic_u64, mwe_idx, mwe_propose, weight_hi32, MWE_EMPTY};
+use llp_runtime::partition::{compact_map_into, count_scan_chunks};
 use llp_runtime::telemetry;
-use llp_runtime::{parallel_for, parallel_map_collect, Counter, ParallelForConfig, ThreadPool};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use llp_runtime::{parallel_for, Counter, ParallelForConfig, ScratchArena, SendPtr, ThreadPool};
+use std::sync::atomic::{AtomicBool, Ordering};
 
-/// A contracted edge: endpoints in the current (renumbered) vertex space
-/// plus the index of the original edge it stands for.
+/// A contracted edge: endpoints in the current (renumbered) vertex space,
+/// the index of the original edge it stands for, and the cached weight
+/// discriminant (high 32 bits of the order-preserving weight encoding) so
+/// the MWE propose fast path touches no other arrays.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct WorkEdge {
+pub struct WorkEdge {
     pub u: u32,
     pub v: u32,
     pub orig: u32,
+    pub whi: u32,
 }
 
 /// Mutable contraction state threaded through rounds.
-pub(crate) struct Contraction {
+pub struct Contraction {
     /// Original edges (immutable identities for the final forest).
     pub orig_edges: Vec<Edge>,
     /// Canonical keys of the original edges.
     pub keys: Vec<EdgeKey>,
     /// Live contracted edges.
     pub work: Vec<WorkEdge>,
+    /// Scatter target for the fused filter+relabel; swapped with `work`
+    /// at the end of every round.
+    work_next: Vec<WorkEdge>,
     /// Vertices in the current contracted space.
     pub n_cur: usize,
     /// Original-edge indices chosen into the forest so far.
@@ -37,6 +67,8 @@ pub(crate) struct Contraction {
     pub jumps: Counter,
     /// Atomic RMW counter (MWE priority writes).
     pub rmw: Counter,
+    /// Reusable round-state buffers (MWE words, parents, renumber tables).
+    pub arena: ScratchArena,
 }
 
 impl Contraction {
@@ -58,16 +90,19 @@ impl Contraction {
                 u: e.u,
                 v: e.v,
                 orig: i as u32,
+                whi: weight_hi32(e.w),
             })
             .collect();
         Contraction {
             orig_edges,
             keys,
             work,
+            work_next: Vec::new(),
             n_cur: n,
             chosen: Vec::with_capacity(n.saturating_sub(1)),
             jumps: Counter::new(),
             rmw: Counter::new(),
+            arena: ScratchArena::new(),
         }
     }
 
@@ -85,71 +120,67 @@ impl Contraction {
         stats.parallel_regions += 4;
         stats.edges_scanned += self.work.len() as u64;
         let n_cur = self.n_cur;
-        telemetry::record_value("live-edges", self.work.len() as u64);
+        let m_cur = self.work.len();
+        let arena = &self.arena;
+        telemetry::record_value("live-edges", m_cur as u64);
         telemetry::record_value("live-vertices", n_cur as u64);
 
-        // Step 1a: per-vertex minimum weight edge (index into `work`).
+        // Step 1a: per-vertex minimum weight edge, one packed word per
+        // vertex. The cached `whi` discriminant resolves almost every
+        // propose without loading the key array; only hi-32 ties fall back
+        // to the exact EdgeKey comparison.
         let mwe_span = telemetry::span("mwe-compute");
-        let best: Vec<AtomicIndexMin> = (0..n_cur).map(|_| AtomicIndexMin::new()).collect();
+        let mut best = arena.lease_filled::<u64>(pool, cfg, n_cur, MWE_EMPTY);
         {
-            let work_ref = &self.work;
-            let keys_ref = &self.keys;
-            let best_ref = &best;
+            let best_cells = as_atomic_u64(&mut best);
+            let work_ref: &[WorkEdge] = &self.work;
+            let keys_ref: &[EdgeKey] = &self.keys;
             let rmw_ref = &self.rmw;
-            parallel_for(pool, 0..self.work.len(), cfg, |i| {
+            parallel_for(pool, 0..m_cur, cfg, |i| {
                 let e = work_ref[i];
-                let key_of = |wi: u64| keys_ref[work_ref[wi as usize].orig as usize];
-                best_ref[e.u as usize].propose_min_by(i as u64, key_of);
-                best_ref[e.v as usize].propose_min_by(i as u64, key_of);
+                let exact = |wi: u32| keys_ref[work_ref[wi as usize].orig as usize];
+                mwe_propose(&best_cells[e.u as usize], e.whi, i as u32, exact);
+                mwe_propose(&best_cells[e.v as usize], e.whi, i as u32, exact);
                 rmw_ref.add(2);
             });
         }
+        let best_ro: &[u64] = &best;
 
         // Step 1b: choose parents with symmetry breaking; G becomes a
         // rooted forest. Vertices with no incident edge root themselves.
-        let g: Vec<AtomicU32> = {
-            let work_ref = &self.work;
-            let best_ref = &best;
-            parallel_map_collect(pool, 0..n_cur, cfg, |v| {
-                let bi = best_ref[v].load(Ordering::Relaxed);
-                if bi == NO_INDEX {
+        // A mutual choice is a full packed-word match: the cell's winning
+        // index determines the whole word.
+        let mut g = {
+            let work_ref: &[WorkEdge] = &self.work;
+            arena.lease_init_with::<u32, _>(pool, cfg, n_cur, |v| {
+                let word = best_ro[v];
+                if word == MWE_EMPTY {
                     return v as u32; // isolated in the contracted graph
                 }
-                let e = work_ref[bi as usize];
+                let e = work_ref[mwe_idx(word) as usize];
                 let w = if e.u == v as u32 { e.v } else { e.u };
-                let mutual = best_ref[w as usize].load(Ordering::Relaxed) == bi;
+                let mutual = best_ro[w as usize] == word;
                 if mutual && (v as u32) < w {
                     v as u32 // break symmetry: the smaller endpoint roots
                 } else {
                     w
                 }
             })
-            .into_iter()
-            .map(AtomicU32::new)
-            .collect()
         };
 
         // Step 1c: every non-root's MWE joins the forest (each chosen edge
         // exactly once: mutual pairs add from the non-root side only;
-        // otherwise MWEs of distinct vertices are distinct edges).
+        // otherwise MWEs of distinct vertices are distinct edges). The
+        // count–scan–scatter compaction emits in vertex order —
+        // deterministic without the old bag-drain-and-sort.
         {
-            let bag: llp_runtime::Bag<u32> = llp_runtime::Bag::new(pool.threads());
-            let work_ref = &self.work;
-            let best_ref = &best;
-            let g_ref = &g;
-            let bag_ref = &bag;
-            llp_runtime::parallel_for_chunks_ctx(pool, 0..n_cur, cfg, |ctx, chunk| {
-                for v in chunk {
-                    if g_ref[v].load(Ordering::Relaxed) != v as u32 {
-                        let bi = best_ref[v].load(Ordering::Relaxed);
-                        bag_ref.push(ctx.tid, work_ref[bi as usize].orig);
-                    }
-                }
+            let g_ro: &[u32] = &g;
+            let work_ref: &[WorkEdge] = &self.work;
+            let mut round_chosen = arena.lease::<u32>(n_cur);
+            compact_map_into(pool, arena, n_cur, &mut round_chosen, |v| {
+                (g_ro[v] != v as u32).then(|| work_ref[mwe_idx(best_ro[v]) as usize].orig)
             });
-            let mut added = bag.drain_to_vec();
-            added.sort_unstable();
-            debug_assert!(added.windows(2).all(|w| w[0] != w[1]), "duplicate edge");
-            self.chosen.extend(added);
+            self.chosen.extend_from_slice(&round_chosen);
         }
 
         drop(mwe_span);
@@ -157,55 +188,81 @@ impl Contraction {
         // Step 2: pointer jumping with relaxed atomics until G is a star
         // forest (the inner LLP instance, Lemma 3/4).
         let jump_span = telemetry::span("pointer-jump");
-        loop {
-            stats.parallel_regions += 1;
-            let changed = AtomicBool::new(false);
-            {
-                let g_ref = &g;
-                let changed_ref = &changed;
-                let jumps_ref = &self.jumps;
-                parallel_for(pool, 0..n_cur, cfg, |j| {
-                    let p = g_ref[j].load(Ordering::Relaxed);
-                    let gp = g_ref[p as usize].load(Ordering::Relaxed);
-                    if p != gp {
-                        g_ref[j].store(gp, Ordering::Relaxed);
-                        jumps_ref.incr();
-                        changed_ref.store(true, Ordering::Relaxed);
-                    }
-                });
-            }
-            if !changed.load(Ordering::Relaxed) {
-                break;
+        {
+            let g_cells = as_atomic_u32(&mut g);
+            loop {
+                stats.parallel_regions += 1;
+                let changed = AtomicBool::new(false);
+                {
+                    let changed_ref = &changed;
+                    let jumps_ref = &self.jumps;
+                    parallel_for(pool, 0..n_cur, cfg, |j| {
+                        let p = g_cells[j].load(Ordering::Relaxed);
+                        let gp = g_cells[p as usize].load(Ordering::Relaxed);
+                        if p != gp {
+                            g_cells[j].store(gp, Ordering::Relaxed);
+                            jumps_ref.incr();
+                            changed_ref.store(true, Ordering::Relaxed);
+                        }
+                    });
+                }
+                if !changed.load(Ordering::Relaxed) {
+                    break;
+                }
             }
         }
-
         drop(jump_span);
 
-        // Step 3: contract. Renumber roots densely, relabel and filter.
+        // Step 3: contract. `g` now maps every vertex to its root.
+        // Renumber roots densely into a leased buffer whose non-root slots
+        // stay uninitialised (only root slots are ever written or read),
+        // then filter + relabel surviving edges in one fused pass into the
+        // double buffer.
         let _t = telemetry::span("contract");
-        let root_of: Vec<u32> = g.iter().map(|a| a.load(Ordering::Relaxed)).collect();
-        let roots =
-            llp_runtime::scan::pack_indices(pool, n_cur, cfg, |v| root_of[v] == v as u32);
-        let mut new_id = vec![u32::MAX; n_cur];
-        for (dense, &root) in roots.iter().enumerate() {
-            new_id[root] = dense as u32;
-        }
-        let survivors = llp_runtime::scan::pack_indices(pool, self.work.len(), cfg, |i| {
-            let e = self.work[i];
-            root_of[e.u as usize] != root_of[e.v as usize]
-        });
-        self.work = survivors
-            .into_iter()
-            .map(|i| {
-                let e = self.work[i];
-                WorkEdge {
-                    u: new_id[root_of[e.u as usize] as usize],
-                    v: new_id[root_of[e.v as usize] as usize],
+        let g_ro: &[u32] = &g;
+        let mut new_id = arena.lease::<u32>(n_cur);
+        let n_roots = {
+            let nid_ptr = SendPtr::new(new_id.as_mut_ptr());
+            count_scan_chunks(
+                pool,
+                n_cur,
+                arena,
+                |r| r.filter(|&v| g_ro[v] == v as u32).count() as u64,
+                |r, base| {
+                    let mut k = base;
+                    for v in r {
+                        if g_ro[v] == v as u32 {
+                            // SAFETY: root slots are disjoint across chunks
+                            // and written exactly once; non-root slots are
+                            // never touched.
+                            unsafe { *nid_ptr.get().add(v) = k as u32 };
+                            k += 1;
+                        }
+                    }
+                    k - base
+                },
+            )
+        };
+        {
+            let nid_ptr = SendPtr::new(new_id.as_mut_ptr());
+            let work_ref: &[WorkEdge] = &self.work;
+            compact_map_into(pool, arena, m_cur, &mut self.work_next, |i| {
+                let e = work_ref[i];
+                let ru = g_ro[e.u as usize];
+                let rv = g_ro[e.v as usize];
+                (ru != rv).then(|| WorkEdge {
+                    // SAFETY: `ru`/`rv` are roots, whose slots the
+                    // renumbering pass initialised.
+                    u: unsafe { *nid_ptr.get().add(ru as usize) },
+                    v: unsafe { *nid_ptr.get().add(rv as usize) },
                     orig: e.orig,
-                }
-            })
-            .collect();
-        self.n_cur = roots.len();
+                    whi: e.whi,
+                })
+            });
+        }
+        std::mem::swap(&mut self.work, &mut self.work_next);
+        self.work_next.clear();
+        self.n_cur = n_roots;
     }
 
     /// Materialises the chosen original edges.
@@ -216,10 +273,12 @@ impl Contraction {
             .collect()
     }
 
-    /// Flushes the atomic counters into `stats`.
+    /// Flushes the atomic counters into `stats` and reports the arena's
+    /// high-water footprint to telemetry.
     pub fn finish_stats(&self, stats: &mut AlgoStats) {
         stats.pointer_jumps = self.jumps.get();
         stats.atomic_rmw = self.rmw.get();
+        self.arena.report_telemetry();
     }
 }
 
@@ -257,5 +316,35 @@ mod tests {
         for e in c.chosen_edges() {
             assert!(g.neighbors(e.u).any(|(v, w)| v == e.v && w == e.w));
         }
+    }
+
+    #[test]
+    fn work_edges_cache_their_weight_discriminant() {
+        let g = fig1();
+        let c = Contraction::new(&g);
+        for e in &c.work {
+            assert_eq!(e.whi, weight_hi32(c.orig_edges[e.orig as usize].w));
+        }
+    }
+
+    #[test]
+    fn steady_state_rounds_do_not_grow_the_arena() {
+        let g = llp_graph::generators::erdos_renyi(3000, 20_000, 7);
+        let pool = ThreadPool::new(4);
+        let mut c = Contraction::new(&g);
+        let mut stats = AlgoStats::default();
+        c.round(&pool, ParallelForConfig::with_grain(256), &mut stats);
+        let footprint = c.arena.footprint_bytes();
+        let caps = c.work.capacity().max(c.work_next.capacity());
+        while !c.is_done() {
+            c.round(&pool, ParallelForConfig::with_grain(256), &mut stats);
+            assert_eq!(c.arena.footprint_bytes(), footprint, "arena grew after round 1");
+            assert_eq!(
+                c.work.capacity().max(c.work_next.capacity()),
+                caps,
+                "double buffer reallocated after round 1"
+            );
+        }
+        assert!(c.arena.reuse_count() > 0);
     }
 }

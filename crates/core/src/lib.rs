@@ -35,7 +35,7 @@
 
 pub mod boruvka;
 pub mod certify;
-pub(crate) mod contraction;
+pub mod contraction;
 pub mod filter_kruskal;
 pub mod heap;
 pub mod hybrid;

@@ -6,7 +6,9 @@
 //!
 //! 1. **MWE selection** — every live edge does a `find` on both endpoints
 //!    and, when they differ, performs an atomic *priority write* into both
-//!    components' best-edge cells (CAS loops keyed by [`llp_graph::EdgeKey`]).
+//!    components' best-edge cells (one packed-word CAS loop per write,
+//!    keyed by the weight discriminant with an exact
+//!    [`llp_graph::EdgeKey`] tie-break).
 //! 2. **Hooking** — each component's winning edge is committed by a
 //!    concurrent union–find `union` (more CAS traffic).
 //! 3. **Filtering** — edges whose endpoints merged are packed away.
@@ -16,31 +18,63 @@
 //! synchronization burden is precisely what LLP-Boruvka removes with its
 //! per-vertex MWE + relaxed pointer jumping; the `atomic_rmw`/`cas_retries`
 //! counters make the contrast measurable on any machine.
+//!
+//! Round state follows the flat-memory discipline of
+//! [`crate::contraction`]: the best-edge cells are one whole-run leased
+//! `u64` buffer of packed MWE words, winners and survivors compact through
+//! arena-backed count–scan–scatter passes, and the live list double-buffers
+//! — steady-state rounds perform zero heap allocations. After each round
+//! only cells owned by endpoints of *surviving* edges are reset (any root
+//! that can receive a proposal next round is `find` of such an endpoint),
+//! replacing the old all-`n` reset sweep.
 
 use crate::result::MstResult;
 use crate::stats::AlgoStats;
 use crate::union_find::ConcurrentUnionFind;
 use llp_graph::{CsrGraph, Edge};
-use llp_runtime::atomics::AtomicIndexMin;
+use llp_runtime::atomics::{as_atomic_u64, mwe_idx, mwe_propose, weight_hi32, MWE_EMPTY};
+use llp_runtime::partition::compact_map_into;
+use llp_runtime::scan::pack_indices_in;
 use llp_runtime::telemetry;
-use llp_runtime::{parallel_for, Bag, Counter, ParallelForConfig, ThreadPool};
+use llp_runtime::{parallel_for, Counter, ParallelForConfig, ScratchArena, ThreadPool};
 use std::sync::atomic::Ordering;
 
 /// Parallel Boruvka; computes the canonical MSF.
 pub fn boruvka_par(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
+    boruvka_par_observed(graph, pool, |_| ())
+}
+
+/// [`boruvka_par`] with a round observer: `on_round(r)` runs at the top of
+/// round `r` (0-based) and once more after the final round, with no
+/// algorithm work in between — the hook harnesses (e.g. the counting
+/// allocator test) use to snapshot state at exact round boundaries.
+pub fn boruvka_par_observed<F>(graph: &CsrGraph, pool: &ThreadPool, mut on_round: F) -> MstResult
+where
+    F: FnMut(usize),
+{
     let n = graph.num_vertices();
     let mut stats = AlgoStats::default();
     let all_edges: Vec<Edge> = graph.edges().collect();
     let keys: Vec<llp_graph::EdgeKey> = all_edges.iter().map(Edge::key).collect();
+    let whis: Vec<u32> = all_edges.iter().map(|e| weight_hi32(e.w)).collect();
 
     let uf = ConcurrentUnionFind::new(n);
-    let best: Vec<AtomicIndexMin> = (0..n).map(|_| AtomicIndexMin::new()).collect();
-    let mut live: Vec<u32> = (0..all_edges.len() as u32).collect();
-    let mut chosen: Vec<Edge> = Vec::with_capacity(n.saturating_sub(1));
+    let arena = ScratchArena::new();
     let cfg = ParallelForConfig::with_grain(512);
+    // One packed MWE word per component, leased for the whole run.
+    let mut best = arena.lease_filled::<u64>(pool, cfg, n, MWE_EMPTY);
+    let mut live: Vec<u32> = (0..all_edges.len() as u32).collect();
+    let mut live_next: Vec<u32> = Vec::new();
+    // Winner counts shrink monotonically (round r commits c_r - c_{r+1}
+    // unions and c_{r+1} <= c_r / 2), so this capacity never grows.
+    let mut winners: Vec<u32> = Vec::with_capacity(n / 2 + 1);
+    let mut chosen: Vec<Edge> = Vec::with_capacity(n.saturating_sub(1));
     let rmw = Counter::new();
+    let mut round = 0usize;
 
     while !live.is_empty() {
+        on_round(round);
+        round += 1;
         stats.rounds += 1;
         stats.parallel_regions += 3;
         telemetry::record_value("live-edges", live.len() as u64);
@@ -48,10 +82,11 @@ pub fn boruvka_par(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
         // Phase 1: priority-write each live edge into both components.
         {
             let _t = telemetry::span("mwe-compute");
-            let live_ref = &live;
-            let edges_ref = &all_edges;
+            let best_cells = as_atomic_u64(&mut best);
+            let live_ref: &[u32] = &live;
+            let edges_ref: &[Edge] = &all_edges;
             let keys_ref = &keys;
-            let best_ref = &best;
+            let whis_ref: &[u32] = &whis;
             let uf_ref = &uf;
             let rmw_ref = &rmw;
             parallel_for(pool, 0..live.len(), cfg, |i| {
@@ -62,80 +97,92 @@ pub fn boruvka_par(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
                 if ru == rv {
                     return;
                 }
-                let key_of = |idx: u64| keys_ref[idx as usize];
-                best_ref[ru as usize].propose_min_by(ei as u64, key_of);
-                best_ref[rv as usize].propose_min_by(ei as u64, key_of);
+                let exact = |idx: u32| keys_ref[idx as usize];
+                let whi = whis_ref[ei as usize];
+                mwe_propose(&best_cells[ru as usize], whi, ei, exact);
+                mwe_propose(&best_cells[rv as usize], whi, ei, exact);
                 rmw_ref.add(2);
             });
         }
 
-        // Phase 2: hook every component along its winning edge.
+        // Phase 2: hook every component along its winning edge. The
+        // exactly-once pack (the predicate commits `union` as a side
+        // effect) collects winners in ascending live order — deterministic
+        // without the old bag-drain-and-sort.
         let hook_span = telemetry::span("contract");
-        let winners: Bag<u32> = Bag::new(pool.threads());
         {
-            let live_ref = &live;
-            let edges_ref = &all_edges;
-            let best_ref = &best;
+            let best_ro: &[u64] = &best;
+            let live_ref: &[u32] = &live;
+            let edges_ref: &[Edge] = &all_edges;
             let uf_ref = &uf;
-            let winners_ref = &winners;
             let rmw_ref = &rmw;
-            parallel_for(pool, 0..live.len(), cfg, |i| {
+            pack_indices_in(pool, live.len(), cfg, &arena, &mut winners, |i| {
                 // Each live edge checks whether it won either endpoint's
                 // component slot; the winning edge performs the union. The
                 // same edge can win both slots — `union` returns false the
                 // second time, so it is committed exactly once.
-                let ei = live_ref[i] as u64;
+                let ei = live_ref[i];
                 let e = edges_ref[ei as usize];
                 let ru = uf_ref.find(e.u);
                 let rv = uf_ref.find(e.v);
                 if ru == rv {
-                    return;
+                    return false;
                 }
-                let won = best_ref[ru as usize].load(Ordering::Relaxed) == ei
-                    || best_ref[rv as usize].load(Ordering::Relaxed) == ei;
-                if won {
-                    rmw_ref.incr();
-                    if uf_ref.union(e.u, e.v) {
-                        winners_ref.push(current_segment(pool, i), ei as u32);
-                    }
+                let wu = best_ro[ru as usize];
+                let wv = best_ro[rv as usize];
+                let won = (wu != MWE_EMPTY && mwe_idx(wu) == ei)
+                    || (wv != MWE_EMPTY && mwe_idx(wv) == ei);
+                if !won {
+                    return false;
                 }
+                rmw_ref.incr();
+                uf_ref.union(e.u, e.v)
             });
         }
-        let mut round_chosen = winners.drain_to_vec();
-        if round_chosen.is_empty() {
+        if winners.is_empty() {
             break;
         }
-        round_chosen.sort_unstable();
-        chosen.extend(round_chosen.iter().map(|&ei| all_edges[ei as usize]));
-
-        // Reset winning slots for the next round (only roots that were
-        // touched matter, but a full reset keeps the loop simple and is a
-        // linear scan without synchronization).
-        {
-            let best_ref = &best;
-            parallel_for(pool, 0..n, cfg, |c| best_ref[c].reset());
-        }
+        chosen.extend(winners.iter().map(|&i| all_edges[live[i as usize] as usize]));
 
         // Phase 3: pack away intra-component edges.
-        let survivors = llp_runtime::scan::pack_indices(pool, live.len(), cfg, |i| {
-            let e = all_edges[live[i] as usize];
-            uf.find(e.u) != uf.find(e.v)
-        });
-        live = survivors.into_iter().map(|i| live[i]).collect();
+        {
+            let live_ref: &[u32] = &live;
+            let edges_ref: &[Edge] = &all_edges;
+            let uf_ref = &uf;
+            compact_map_into(pool, &arena, live.len(), &mut live_next, |i| {
+                let ei = live_ref[i];
+                let e = edges_ref[ei as usize];
+                (uf_ref.find(e.u) != uf_ref.find(e.v)).then_some(ei)
+            });
+        }
+        std::mem::swap(&mut live, &mut live_next);
         stats.edges_scanned += live.len() as u64;
+
+        // Reset best cells for the next round — live components only. A
+        // cell is read next round only as `find` of a surviving live
+        // edge's endpoint (phases 1–2 guard on `ru != rv`), and no union
+        // runs between here and then, so sweeping the new live set covers
+        // every readable cell. Stores are idempotent; duplicate endpoints
+        // are harmless.
+        {
+            let best_cells = as_atomic_u64(&mut best);
+            let live_ref: &[u32] = &live;
+            let edges_ref: &[Edge] = &all_edges;
+            let uf_ref = &uf;
+            parallel_for(pool, 0..live.len(), cfg, |i| {
+                let e = edges_ref[live_ref[i] as usize];
+                best_cells[uf_ref.find(e.u) as usize].store(MWE_EMPTY, Ordering::Relaxed);
+                best_cells[uf_ref.find(e.v) as usize].store(MWE_EMPTY, Ordering::Relaxed);
+            });
+        }
         drop(hook_span);
     }
+    on_round(round);
 
     stats.cas_retries = uf.cas_retries();
     stats.atomic_rmw = rmw.get();
+    arena.report_telemetry();
     MstResult::from_edges(n, chosen, stats)
-}
-
-/// Maps a loop index to a bag segment without thread-identity plumbing:
-/// any stable mapping works because bags only need per-segment mutual
-/// exclusion, which the internal mutex provides.
-fn current_segment(pool: &ThreadPool, i: usize) -> usize {
-    i % pool.threads()
 }
 
 #[cfg(test)]
@@ -209,5 +256,29 @@ mod tests {
         let pool = ThreadPool::new(2);
         let r = boruvka_par(&g, &pool);
         assert!(r.stats.atomic_rmw > 0, "baseline must count RMW traffic");
+    }
+
+    #[test]
+    fn observer_sees_every_round_boundary() {
+        let g = llp_graph::generators::erdos_renyi(300, 1500, 3);
+        let pool = ThreadPool::new(2);
+        let mut boundaries = Vec::new();
+        let r = boruvka_par_observed(&g, &pool, |round| boundaries.push(round));
+        // One call per round top plus the terminal call.
+        assert_eq!(boundaries.len() as u64, r.stats.rounds + 1);
+        assert!(boundaries.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn duplicate_weights_stay_canonical() {
+        // All-equal weights force every MWE pick through the packed word's
+        // exact-key tie-break path.
+        let g = llp_graph::samples::all_equal_weights(16);
+        for pool in pools() {
+            assert_eq!(
+                boruvka_par(&g, &pool).canonical_keys(),
+                kruskal(&g).canonical_keys()
+            );
+        }
     }
 }

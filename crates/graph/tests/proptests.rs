@@ -216,6 +216,196 @@ fn readers_never_panic_on_junk() {
     }
 }
 
+/// Weights spanning the full non-NaN `f64` range: random bit patterns plus
+/// the adversarial corners (signed zeros, subnormals, infinities, extremes).
+fn arbitrary_weight(rng: &mut SmallRng) -> f64 {
+    const CORNERS: [f64; 10] = [
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        5e-324, // smallest subnormal
+        f64::MAX,
+        f64::MIN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        1.0,
+    ];
+    if rng.gen_range(0..4) == 0 {
+        CORNERS[rng.gen_range(0..CORNERS.len() as u32) as usize]
+    } else {
+        loop {
+            let w = f64::from_bits(rng.gen::<u64>());
+            if !w.is_nan() {
+                return w;
+            }
+        }
+    }
+}
+
+/// The packed-`u64` MWE protocol is order-isomorphic to [`EdgeKey`]: for
+/// any batch of distinct-key edges proposed in any order, the cell
+/// converges to the `EdgeKey`-minimum edge. This is the proof obligation
+/// behind replacing the two-word `AtomicIndexMin` protocol — the high-32
+/// weight discriminant decides fast, and the exact-key fallback must agree
+/// with `EdgeKey` on every hi32 collision (equal weights, nearby weights
+/// sharing high bits, subnormals, infinities).
+#[test]
+fn packed_word_order_is_isomorphic_to_edge_key() {
+    use llp_runtime::atomics::{mwe_idx, mwe_propose, weight_hi32, MWE_EMPTY};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let batch = rng.gen_range(2u32..12) as usize;
+        // Force hi32 collisions in half the cases by reusing one weight.
+        let shared = arbitrary_weight(&mut rng);
+        let edges: Vec<Edge> = (0..batch)
+            .map(|i| {
+                let w = if rng.gen_range(0..2) == 0 {
+                    shared
+                } else {
+                    arbitrary_weight(&mut rng)
+                };
+                // Distinct endpoint pairs => distinct EdgeKeys even on
+                // equal weights.
+                Edge::new(2 * i as u32, 2 * i as u32 + 1, w)
+            })
+            .collect();
+        let keys: Vec<EdgeKey> = edges.iter().map(Edge::key).collect();
+        let expect = (0..batch).min_by_key(|&i| keys[i]).unwrap();
+
+        // Every pairwise comparison agrees with EdgeKey, both ways.
+        for i in 0..batch {
+            assert!(
+                weight_hi32(edges[i].w) < u32::MAX,
+                "seed {seed}: discriminant must stay below the empty word"
+            );
+            for j in 0..batch {
+                if i == j {
+                    continue;
+                }
+                let cell = AtomicU64::new(MWE_EMPTY);
+                let exact = |idx: u32| keys[idx as usize];
+                mwe_propose(&cell, weight_hi32(edges[i].w), i as u32, exact);
+                mwe_propose(&cell, weight_hi32(edges[j].w), j as u32, exact);
+                let winner = mwe_idx(cell.load(Ordering::Relaxed)) as usize;
+                assert_eq!(
+                    winner,
+                    if keys[i] < keys[j] { i } else { j },
+                    "seed {seed}: pair ({i}, {j})"
+                );
+            }
+        }
+
+        // Whole-batch convergence under a random proposal order.
+        let mut order: Vec<u32> = (0..batch as u32).collect();
+        rng.shuffle(&mut order);
+        let cell = AtomicU64::new(MWE_EMPTY);
+        let exact = |idx: u32| keys[idx as usize];
+        for &i in &order {
+            mwe_propose(&cell, weight_hi32(edges[i as usize].w), i, exact);
+        }
+        assert_eq!(
+            mwe_idx(cell.load(Ordering::Relaxed)) as usize,
+            expect,
+            "seed {seed}: batch winner"
+        );
+    }
+}
+
+/// Tie-breaking stays deterministic under concurrent proposals and chaos
+/// schedules: many threads racing equal-weight proposals into shared cells
+/// always converge to the `EdgeKey` minimum, for every chaos seed (the
+/// seeds perturb thread interleavings when the `chaos` feature is on and
+/// are inert no-ops otherwise — the assertion is identical either way).
+#[test]
+fn packed_word_ties_deterministic_under_chaos_seeds() {
+    use llp_runtime::atomics::{mwe_idx, mwe_propose, weight_hi32, MWE_EMPTY};
+    use llp_runtime::{chaos, parallel_for, ParallelForConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let n_cells = 16usize;
+    let n_edges = 512usize;
+    let mut rng = SmallRng::seed_from_u64(0xfeed);
+    // Only 3 distinct weights over 512 edges: ties everywhere.
+    let weights = [1.5, 1.5, 2.5];
+    let edges: Vec<Edge> = (0..n_edges)
+        .map(|_| {
+            let w = weights[rng.gen_range(0..3) as usize];
+            let u = rng.gen_range(0..64);
+            Edge::new(u, u + 1 + rng.gen_range(0..8), w)
+        })
+        .collect();
+    let keys: Vec<EdgeKey> = edges.iter().map(Edge::key).collect();
+    let whis: Vec<u32> = edges.iter().map(|e| weight_hi32(e.w)).collect();
+
+    let mut expected: Option<Vec<u64>> = None;
+    for chaos_seed in [11u64, 23, 47] {
+        chaos::set_seed(Some(chaos_seed));
+        let pool = ThreadPool::new(4);
+        let cells: Vec<AtomicU64> = (0..n_cells).map(|_| AtomicU64::new(MWE_EMPTY)).collect();
+        let cells_ref = &cells;
+        let keys_ref = &keys;
+        let whis_ref = &whis;
+        parallel_for(
+            &pool,
+            0..n_edges,
+            ParallelForConfig::with_grain(8),
+            |i| {
+                let cell = &cells_ref[i % n_cells];
+                mwe_propose(cell, whis_ref[i], i as u32, |idx| keys_ref[idx as usize]);
+            },
+        );
+        chaos::set_seed(None);
+        let got: Vec<u64> = cells.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        // Every cell holds the EdgeKey-minimum of its residue class.
+        for (c, &word) in got.iter().enumerate() {
+            let min = (c..n_edges).step_by(n_cells).min_by_key(|&i| keys[i]).unwrap();
+            assert_eq!(
+                mwe_idx(word) as usize, min,
+                "chaos seed {chaos_seed}: cell {c}"
+            );
+        }
+        match &expected {
+            None => expected = Some(got),
+            Some(prev) => assert_eq!(prev, &got, "chaos seed {chaos_seed} diverged"),
+        }
+    }
+}
+
+/// Cache-aware relabels are MST-equivariant: mapping the relabeled MSF
+/// back through the permutation yields the original canonical keys. (The
+/// oracle here is the edge multiset, not an MST run — `llp-core` depends
+/// on this crate, so the full algorithm-level equivariance check lives in
+/// the core suite; this guards the transform itself.)
+#[test]
+fn relabels_are_valid_permutations_on_random_graphs() {
+    use llp_graph::transform::{relabel_bfs, relabel_degree_descending};
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (n, raw) = raw_edges(&mut rng, 60, 400);
+        let g = build(n, &raw);
+        for (p, perm) in [relabel_degree_descending(&g), relabel_bfs(&g)] {
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                sorted,
+                (0..n).collect::<Vec<u32>>(),
+                "seed {seed}: not a permutation"
+            );
+            let mut a: Vec<EdgeKey> = g
+                .edges()
+                .map(|e| Edge::new(perm[e.u as usize], perm[e.v as usize], e.w).key())
+                .collect();
+            let mut b: Vec<EdgeKey> = p.edges().map(|e| e.key()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "seed {seed}: edge multiset changed");
+        }
+    }
+}
+
 #[test]
 fn metis_round_trips() {
     use llp_graph::io::{read_metis, write_metis};

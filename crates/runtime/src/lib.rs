@@ -41,6 +41,7 @@ pub mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod scan;
+pub mod scratch;
 pub mod sort;
 pub mod sync;
 pub mod telemetry;
@@ -49,7 +50,8 @@ pub use bag::Bag;
 pub use counters::Counter;
 pub use parallel_for::{parallel_for, parallel_for_chunks, parallel_for_chunks_ctx, ParallelForConfig};
 pub use pool::{ThreadPool, WorkerCtx};
-pub use reduce::{parallel_map_collect, parallel_reduce};
+pub use reduce::{parallel_map_collect, parallel_reduce, SendPtr};
+pub use scratch::{ScratchArena, ScratchVec};
 
 /// Number of hardware threads available to this process.
 ///

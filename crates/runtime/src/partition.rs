@@ -15,13 +15,14 @@
 use crate::pool::ThreadPool;
 use crate::reduce::SendPtr;
 use crate::scan::exclusive_scan_in_place;
-use crate::sync::Mutex;
+use crate::scratch::ScratchArena;
 use std::cmp::Ordering as CmpOrdering;
 use std::mem::MaybeUninit;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Below this many elements the sequential path wins.
-const PAR_THRESHOLD: usize = 4096;
+pub(crate) const PAR_THRESHOLD: usize = 4096;
 
 /// Stably reorders `data` so elements of class `0`, `1`, …, `nclasses - 1`
 /// appear in that order, each class keeping its input order (counting
@@ -41,17 +42,41 @@ pub fn distribute_by_class<T, F>(
     class_of: F,
 ) -> Vec<usize>
 where
-    T: Send + Sync,
+    T: Send + Sync + 'static,
+    F: Fn(&T) -> usize + Sync,
+{
+    let arena = ScratchArena::new();
+    let mut bounds = Vec::with_capacity(nclasses + 1);
+    distribute_by_class_in(pool, data, nclasses, &arena, &mut bounds, class_of);
+    bounds
+}
+
+/// [`distribute_by_class`] with all round state leased from `arena`:
+/// the cached class ids, the class-major count matrix, and the scatter
+/// scratch buffer. `bounds` is cleared and refilled in place, so repeated
+/// calls with a warm arena perform no heap allocations.
+pub fn distribute_by_class_in<T, F>(
+    pool: &ThreadPool,
+    data: &mut [T],
+    nclasses: usize,
+    arena: &ScratchArena,
+    bounds: &mut Vec<usize>,
+    class_of: F,
+) where
+    T: Send + Sync + 'static,
     F: Fn(&T) -> usize + Sync,
 {
     assert!(nclasses >= 1, "need at least one class");
     assert!(nclasses <= u16::MAX as usize, "class ids are stored as u16");
     let n = data.len();
+    bounds.clear();
     if n == 0 {
-        return vec![0; nclasses + 1];
+        bounds.resize(nclasses + 1, 0);
+        return;
     }
     if pool.threads() == 1 || n < PAR_THRESHOLD {
-        return distribute_seq(data, nclasses, &class_of);
+        bounds.extend_from_slice(&distribute_seq(data, nclasses, &class_of));
+        return;
     }
 
     let nchunks = (pool.threads() * 8).min(n);
@@ -61,62 +86,16 @@ where
     // Pass 1: classify, caching class ids and per-chunk class counts.
     // Counts are laid out class-major (`[class][chunk]`) so a single
     // exclusive scan yields every (class, chunk) scatter base offset.
-    let mut classes: Vec<u16> = vec![0; n];
-    let counts: Mutex<Vec<u64>> = Mutex::new(vec![0; nclasses * nchunks]);
+    // Chunk `b` exclusively owns column `b` of the matrix, so workers
+    // increment it directly — no per-worker count buffers, no merge.
+    let mut classes = arena.lease::<u16>(n);
+    let mut counts = arena.lease::<u64>(nclasses * nchunks);
+    counts.resize(nclasses * nchunks, 0);
     {
         let classes_ptr = SendPtr::new(classes.as_mut_ptr());
+        let counts_ptr = SendPtr::new(counts.as_mut_ptr());
         let data_ro: &[T] = data;
         let class_of = &class_of;
-        let counts = &counts;
-        let cursor = AtomicUsize::new(0);
-        pool.broadcast(|ctx| {
-            let mut local: Vec<(usize, Vec<u64>)> = Vec::new();
-            loop {
-                crate::chaos::chunk_claim(ctx.tid);
-                let b = cursor.fetch_add(1, Ordering::Relaxed);
-                if b >= nchunks {
-                    break;
-                }
-                let lo = b * chunk;
-                let hi = ((b + 1) * chunk).min(n);
-                let mut cnt = vec![0u64; nclasses];
-                for (i, x) in data_ro.iter().enumerate().take(hi).skip(lo) {
-                    let c = class_of(x);
-                    assert!(c < nclasses, "class {c} out of range (nclasses {nclasses})");
-                    cnt[c] += 1;
-                    // SAFETY: chunks are disjoint index ranges of `classes`.
-                    unsafe { *classes_ptr.get().add(i) = c as u16 };
-                }
-                local.push((b, cnt));
-            }
-            let mut counts = counts.lock();
-            for (b, cnt) in local {
-                for (c, v) in cnt.into_iter().enumerate() {
-                    counts[c * nchunks + b] = v;
-                }
-            }
-        });
-    }
-
-    // Pass 2 (sequential, nclasses * nchunks entries): scan the count matrix.
-    let mut offsets = counts.into_inner();
-    let total = exclusive_scan_in_place(&mut offsets);
-    debug_assert_eq!(total as usize, n);
-    let mut bounds: Vec<usize> = (0..nclasses)
-        .map(|c| offsets[c * nchunks] as usize)
-        .collect();
-    bounds.push(n);
-
-    // Pass 3: scatter each chunk's elements to their class slots.
-    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
-    // SAFETY: `MaybeUninit` needs no initialisation; the scatter below
-    // writes every slot exactly once (the scanned offsets partition 0..n).
-    unsafe { scratch.set_len(n) };
-    {
-        let scratch_ptr = SendPtr::new(scratch.as_mut_ptr() as *mut T);
-        let data_ro: &[T] = data;
-        let classes_ro: &[u16] = &classes;
-        let offsets_ro: &[u64] = &offsets;
         let cursor = AtomicUsize::new(0);
         pool.broadcast(|ctx| loop {
             crate::chaos::chunk_claim(ctx.tid);
@@ -126,17 +105,59 @@ where
             }
             let lo = b * chunk;
             let hi = ((b + 1) * chunk).min(n);
-            let mut cursors: Vec<usize> = (0..nclasses)
-                .map(|c| offsets_ro[c * nchunks + b] as usize)
-                .collect();
+            for (i, x) in data_ro.iter().enumerate().take(hi).skip(lo) {
+                let c = class_of(x);
+                assert!(c < nclasses, "class {c} out of range (nclasses {nclasses})");
+                // SAFETY: chunks are disjoint index ranges of `classes`,
+                // and chunk `b` is the only writer of matrix column `b`.
+                unsafe {
+                    *classes_ptr.get().add(i) = c as u16;
+                    *counts_ptr.get().add(c * nchunks + b) += 1;
+                }
+            }
+        });
+        // SAFETY: the chunks partition 0..n, so every id slot was written.
+        unsafe { classes.set_len(n) };
+    }
+
+    // Pass 2 (sequential, nclasses * nchunks entries): scan the count matrix.
+    let total = exclusive_scan_in_place(&mut counts);
+    debug_assert_eq!(total as usize, n);
+    bounds.extend((0..nclasses).map(|c| counts[c * nchunks] as usize));
+    bounds.push(n);
+
+    // Pass 3: scatter each chunk's elements to their class slots. The
+    // scratch lease's len stays 0 — elements move in and back out bitwise
+    // through raw pointers, so returning the buffer never drops a `T`.
+    // The scanned offset matrix doubles as the per-(class, chunk) write
+    // cursors: chunk `b` still owns column `b`, so it advances those
+    // entries in place.
+    let mut scratch = arena.lease::<T>(n);
+    {
+        let scratch_ptr = SendPtr::new(scratch.as_mut_ptr());
+        let offsets_ptr = SendPtr::new(counts.as_mut_ptr());
+        let data_ro: &[T] = data;
+        let classes_ro: &[u16] = &classes;
+        let cursor = AtomicUsize::new(0);
+        pool.broadcast(|ctx| loop {
+            crate::chaos::chunk_claim(ctx.tid);
+            let b = cursor.fetch_add(1, Ordering::Relaxed);
+            if b >= nchunks {
+                break;
+            }
+            let lo = b * chunk;
+            let hi = ((b + 1) * chunk).min(n);
             for (i, &cls) in classes_ro.iter().enumerate().take(hi).skip(lo) {
                 let c = cls as usize;
-                let dst = cursors[c];
-                cursors[c] += 1;
                 // SAFETY: the scan makes (class, chunk) destination ranges
-                // disjoint, so each scratch slot is written exactly once;
-                // the element is moved bitwise — never dropped or aliased.
+                // disjoint and chunk `b` is the sole reader/writer of its
+                // cursor column, so each scratch slot is written exactly
+                // once; the element is moved bitwise — never dropped or
+                // aliased.
                 unsafe {
+                    let slot = offsets_ptr.get().add(c * nchunks + b);
+                    let dst = *slot as usize;
+                    *slot += 1;
                     std::ptr::copy_nonoverlapping(
                         data_ro.as_ptr().add(i),
                         scratch_ptr.get().add(dst),
@@ -148,12 +169,134 @@ where
     }
     // SAFETY: every element of `data` was moved into `scratch` exactly once;
     // copying the permutation back restores ownership in `data`. `scratch`
-    // holds `MaybeUninit<T>`, so dropping it frees memory without dropping
-    // any `T`.
+    // keeps len 0, so returning it to the arena drops no `T`.
     unsafe {
-        std::ptr::copy_nonoverlapping(scratch.as_ptr() as *const T, data.as_mut_ptr(), n);
+        std::ptr::copy_nonoverlapping(scratch.as_ptr(), data.as_mut_ptr(), n);
     }
-    bounds
+}
+
+/// Chunked count–scan–emit skeleton over `0..n`, with the per-chunk count
+/// buffer leased from `arena`.
+///
+/// The range is cut into a fixed grid of chunks (the same grid both
+/// passes use). Pass 1 calls `count(chunk)` for every chunk; the counts
+/// are exclusively scanned; pass 2 calls `emit(chunk, base)` where `base`
+/// is the chunk's scanned output offset, and `emit` must return how many
+/// outputs it produced (checked against the scan under debug assertions).
+/// Returns the total output count.
+///
+/// Single-thread pools and small `n` skip straight to one `emit(0..n, 0)`
+/// call, so `emit` must subsume `count`'s work on that path.
+pub fn count_scan_chunks<C, E>(
+    pool: &ThreadPool,
+    n: usize,
+    arena: &ScratchArena,
+    count: C,
+    emit: E,
+) -> usize
+where
+    C: Fn(Range<usize>) -> u64 + Sync,
+    E: Fn(Range<usize>, u64) -> u64 + Sync,
+{
+    if n == 0 {
+        return 0;
+    }
+    if pool.threads() == 1 || n < PAR_THRESHOLD {
+        return emit(0..n, 0) as usize;
+    }
+    let nchunks = (pool.threads() * 8).min(n);
+    let chunk = n.div_ceil(nchunks);
+    let nchunks = n.div_ceil(chunk);
+
+    let mut counts = arena.lease::<u64>(nchunks);
+    {
+        let counts_ptr = SendPtr::new(counts.as_mut_ptr());
+        let count = &count;
+        let cursor = AtomicUsize::new(0);
+        pool.broadcast(|ctx| loop {
+            crate::chaos::chunk_claim(ctx.tid);
+            let b = cursor.fetch_add(1, Ordering::Relaxed);
+            if b >= nchunks {
+                break;
+            }
+            let lo = b * chunk;
+            let hi = ((b + 1) * chunk).min(n);
+            // SAFETY: one writer per chunk slot.
+            unsafe { *counts_ptr.get().add(b) = count(lo..hi) };
+        });
+        // SAFETY: the chunk grid covers 0..nchunks, every slot written.
+        unsafe { counts.set_len(nchunks) };
+    }
+    let total = exclusive_scan_in_place(&mut counts);
+    {
+        let counts_ro: &[u64] = &counts;
+        let emit = &emit;
+        let cursor = AtomicUsize::new(0);
+        pool.broadcast(|ctx| loop {
+            crate::chaos::chunk_claim(ctx.tid);
+            let b = cursor.fetch_add(1, Ordering::Relaxed);
+            if b >= nchunks {
+                break;
+            }
+            let lo = b * chunk;
+            let hi = ((b + 1) * chunk).min(n);
+            let emitted = emit(lo..hi, counts_ro[b]);
+            let expected =
+                if b + 1 < nchunks { counts_ro[b + 1] } else { total } - counts_ro[b];
+            if cfg!(debug_assertions) {
+                assert_eq!(
+                    emitted, expected,
+                    "emit for chunk {b} produced {emitted} outputs, counted {expected}"
+                );
+            }
+        });
+    }
+    total as usize
+}
+
+/// Parallel filtered map: `out` receives `f(i)` for every `i` in `0..n`
+/// where `f` returns `Some`, in index order. `out` is cleared and refilled
+/// in place; all intermediate state comes from `arena`, so once `out`'s
+/// capacity has grown to its steady-state size the call allocates nothing.
+///
+/// `f` is evaluated twice per index (count pass + emit pass) and must be
+/// deterministic; side-effecting predicates belong in
+/// [`crate::scan::pack_indices_in`], which evaluates exactly once.
+pub fn compact_map_into<T, F>(
+    pool: &ThreadPool,
+    arena: &ScratchArena,
+    n: usize,
+    out: &mut Vec<T>,
+    f: F,
+) where
+    T: Send + 'static,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    out.clear();
+    out.reserve(n);
+    let out_ptr = SendPtr::new(out.as_mut_ptr());
+    let f = &f;
+    let total = count_scan_chunks(
+        pool,
+        n,
+        arena,
+        |r| r.filter(|&i| f(i).is_some()).count() as u64,
+        |r, base| {
+            let mut k = base as usize;
+            for i in r {
+                if let Some(v) = f(i) {
+                    // SAFETY: scanned bases make chunk output ranges
+                    // disjoint, and `out` has capacity for n >= total
+                    // elements; each slot in 0..total written exactly once.
+                    unsafe { out_ptr.get().add(k).write(v) };
+                    k += 1;
+                }
+            }
+            (k - base as usize) as u64
+        },
+    );
+    // SAFETY: exactly `total` leading slots were initialised above.
+    unsafe { out.set_len(total) };
 }
 
 /// Sequential [`distribute_by_class`] (same counting scatter, one thread).
@@ -197,7 +340,7 @@ where
 /// class keeping its input order. Returns `(lt_len, eq_len)`.
 pub fn partition3_in_place<T, F>(pool: &ThreadPool, data: &mut [T], classify: F) -> (usize, usize)
 where
-    T: Send + Sync,
+    T: Send + Sync + 'static,
     F: Fn(&T) -> CmpOrdering + Sync,
 {
     let bounds = distribute_by_class(pool, data, 3, |x| match classify(x) {
@@ -226,7 +369,7 @@ where
 /// across the pool (exactly once per element).
 pub fn retain_parallel<T, F>(pool: &ThreadPool, data: &mut Vec<T>, keep: F)
 where
-    T: Send + Sync,
+    T: Send + Sync + 'static,
     F: Fn(&T) -> bool + Sync,
 {
     let bounds = distribute_by_class(pool, data, 2, |x| usize::from(!keep(x)));
@@ -357,6 +500,81 @@ mod tests {
         drop(v);
         assert_eq!(drops.load(Ordering::Relaxed), n, "every element dropped once");
     }
+
+    #[test]
+    fn distribute_in_steady_state_reuses_arena() {
+        let pool = ThreadPool::new(4);
+        let arena = ScratchArena::new();
+        let mut bounds = Vec::new();
+        let v0 = pseudo_random(50_000);
+        // Warm-up round grows the arena; later rounds must not.
+        let mut v = v0.clone();
+        distribute_by_class_in(&pool, &mut v, 16, &arena, &mut bounds, |&x| x as usize % 16);
+        let footprint = arena.footprint_bytes();
+        for round in 0..3 {
+            let mut v = v0.clone();
+            distribute_by_class_in(&pool, &mut v, 16, &arena, &mut bounds, |&x| {
+                x as usize % 16
+            });
+            let mut want = v0.clone();
+            want.sort_by_key(|&x| x as usize % 16);
+            assert_eq!(v, want, "round={round}");
+            assert_eq!(
+                arena.footprint_bytes(),
+                footprint,
+                "steady-state round {round} grew the arena"
+            );
+        }
+        assert!(arena.reuse_count() > 0);
+    }
+
+    #[test]
+    fn count_scan_chunks_matches_sequential_filter() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let arena = ScratchArena::new();
+            for n in [0usize, 1, 4095, 4096, 60_000] {
+                let keep = |i: usize| i.is_multiple_of(3);
+                let out = Mutex::new(vec![false; n]);
+                let total = count_scan_chunks(
+                    &pool,
+                    n,
+                    &arena,
+                    |r| r.filter(|&i| keep(i)).count() as u64,
+                    |r, _base| {
+                        let mut m = out.lock();
+                        let mut k = 0;
+                        for i in r {
+                            if keep(i) {
+                                m[i] = true;
+                                k += 1;
+                            }
+                        }
+                        k
+                    },
+                );
+                assert_eq!(total, (0..n).filter(|&i| keep(i)).count(), "n={n}");
+                assert!(out.lock().iter().enumerate().all(|(i, &v)| v == keep(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn compact_map_matches_filter_map() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let arena = ScratchArena::new();
+            let mut out: Vec<u64> = Vec::new();
+            for n in [0usize, 7, 4096, 50_000] {
+                let f = |i: usize| (i % 7 < 3).then(|| (i * 2) as u64);
+                compact_map_into(&pool, &arena, n, &mut out, f);
+                let want: Vec<u64> = (0..n).filter_map(f).collect();
+                assert_eq!(*out, want, "threads={threads} n={n}");
+            }
+        }
+    }
+
+    use crate::sync::Mutex;
 
     #[test]
     fn out_of_range_class_panics() {

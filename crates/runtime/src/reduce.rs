@@ -93,15 +93,15 @@ where
 /// Wrapper making a raw pointer `Sync` for disjoint-index parallel writes.
 ///
 /// Callers must guarantee every index is written by at most one thread.
-pub(crate) struct SendPtr<T>(*mut T);
+pub struct SendPtr<T>(*mut T);
 impl<T> SendPtr<T> {
-    pub(crate) fn new(p: *mut T) -> Self {
+    pub fn new(p: *mut T) -> Self {
         SendPtr(p)
     }
     /// Returns the raw pointer. Method access (rather than field access)
     /// forces closures to capture the whole `Sync` wrapper, not the raw
     /// pointer field (Rust 2021 disjoint capture).
-    pub(crate) fn get(&self) -> *mut T {
+    pub fn get(&self) -> *mut T {
         self.0
     }
 }

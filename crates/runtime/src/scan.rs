@@ -122,6 +122,73 @@ where
     out
 }
 
+/// [`pack_indices`] with every intermediate buffer leased from `arena` and
+/// the output written into `out` (cleared and refilled in place, as `u32`
+/// indices). With a warm arena and a pre-grown `out`, the call performs no
+/// heap allocations.
+///
+/// Unlike [`crate::partition::compact_map_into`], `keep` is evaluated
+/// **exactly once per index** (a flags pass runs before the count/scatter),
+/// so predicates with side effects — the Boruvka winner scan commits
+/// union-find merges inside its predicate — are safe here.
+pub fn pack_indices_in<F>(
+    pool: &ThreadPool,
+    n: usize,
+    config: ParallelForConfig,
+    arena: &crate::scratch::ScratchArena,
+    out: &mut Vec<u32>,
+    keep: F,
+) where
+    F: Fn(usize) -> bool + Sync,
+{
+    debug_assert!(n <= u32::MAX as usize, "indices are packed as u32");
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    if pool.threads() == 1 || n < crate::partition::PAR_THRESHOLD {
+        out.extend((0..n).filter(|&i| keep(i)).map(|i| i as u32));
+        return;
+    }
+    // Flags pass: the single point where `keep` runs.
+    let mut flags = arena.lease::<u8>(n);
+    {
+        let flags_ptr = SendPtr::new(flags.as_mut_ptr());
+        crate::parallel_for_chunks(pool, 0..n, config, |r| {
+            for i in r {
+                // SAFETY: chunks are disjoint; each index written once.
+                unsafe { *flags_ptr.get().add(i) = u8::from(keep(i)) };
+            }
+        });
+        // SAFETY: the loop covered 0..n.
+        unsafe { flags.set_len(n) };
+    }
+    // Count/scan/scatter over the flags.
+    out.reserve(n);
+    let out_ptr = SendPtr::new(out.as_mut_ptr());
+    let flags_ro: &[u8] = &flags;
+    let total = crate::partition::count_scan_chunks(
+        pool,
+        n,
+        arena,
+        |r| r.map(|i| flags_ro[i] as u64).sum(),
+        |r, base| {
+            let mut k = base as usize;
+            for i in r {
+                if flags_ro[i] != 0 {
+                    // SAFETY: scanned bases keep chunk output ranges
+                    // disjoint; capacity reserved above covers total <= n.
+                    unsafe { *out_ptr.get().add(k) = i as u32 };
+                    k += 1;
+                }
+            }
+            (k - base as usize) as u64
+        },
+    );
+    // SAFETY: exactly `total` leading slots initialised.
+    unsafe { out.set_len(total) };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +228,54 @@ mod tests {
             let got = pack_indices(&pool, n, ParallelForConfig::with_grain(128), keep);
             let want: Vec<usize> = (0..n).filter(|&i| keep(i)).collect();
             assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pack_in_matches_pack_and_runs_predicate_once() {
+        use std::sync::atomic::AtomicUsize as Calls;
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let arena = crate::scratch::ScratchArena::new();
+            let mut out = Vec::new();
+            for n in [0usize, 5, 4095, 4096, 50_000] {
+                let calls = Calls::new(0);
+                let keep = |i: usize| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    i.is_multiple_of(3) || i.is_multiple_of(7)
+                };
+                pack_indices_in(
+                    &pool,
+                    n,
+                    ParallelForConfig::with_grain(128),
+                    &arena,
+                    &mut out,
+                    keep,
+                );
+                let want: Vec<u32> = (0..n)
+                    .filter(|&i| i.is_multiple_of(3) || i.is_multiple_of(7))
+                    .map(|i| i as u32)
+                    .collect();
+                assert_eq!(*out, want, "threads={threads} n={n}");
+                assert_eq!(calls.load(Ordering::Relaxed), n, "predicate not exactly-once");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_in_steady_state_does_not_grow_arena() {
+        let pool = ThreadPool::new(4);
+        let arena = crate::scratch::ScratchArena::new();
+        let mut out = Vec::new();
+        pack_indices_in(&pool, 50_000, ParallelForConfig::default(), &arena, &mut out, |i| {
+            i % 2 == 0
+        });
+        let footprint = arena.footprint_bytes();
+        for _ in 0..3 {
+            pack_indices_in(&pool, 50_000, ParallelForConfig::default(), &arena, &mut out, |i| {
+                i % 2 == 0
+            });
+            assert_eq!(arena.footprint_bytes(), footprint);
         }
     }
 

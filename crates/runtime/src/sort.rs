@@ -10,8 +10,9 @@
 //! replaces — the hot path needs no `Clone` bound and performs no
 //! per-element clones.
 
-use crate::partition::distribute_by_class;
+use crate::partition::distribute_by_class_in;
 use crate::pool::ThreadPool;
+use crate::scratch::ScratchArena;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Below this many elements `slice::sort_unstable_by_key` wins outright.
@@ -29,7 +30,25 @@ const OVERSAMPLE: usize = 8;
 /// cheap.
 pub fn par_sort_by_key<T, K, F>(pool: &ThreadPool, data: &mut [T], key: F)
 where
-    T: Send + Sync,
+    T: Send + Sync + 'static,
+    K: Ord + Sync,
+    F: Fn(&T) -> K + Sync,
+{
+    let arena = ScratchArena::new();
+    par_sort_by_key_in(pool, data, &arena, key);
+}
+
+/// [`par_sort_by_key`] with the distribution's scratch buffers (element
+/// scatter space, class ids, count matrix, bucket bounds) leased from
+/// `arena` — sorts inside round loops reuse storage instead of
+/// reallocating it.
+pub fn par_sort_by_key_in<T, K, F>(
+    pool: &ThreadPool,
+    data: &mut [T],
+    arena: &ScratchArena,
+    key: F,
+) where
+    T: Send + Sync + 'static,
     K: Ord + Sync,
     F: Fn(&T) -> K + Sync,
 {
@@ -60,7 +79,8 @@ where
     // (duplicate splitter runs simply leave some buckets empty).
     let key_ref = &key;
     let splitters_ref = &splitters;
-    let bounds = distribute_by_class(pool, data, nbuckets, |x| {
+    let mut bounds = arena.lease::<usize>(nbuckets + 1);
+    distribute_by_class_in(pool, data, nbuckets, arena, &mut bounds, |x| {
         let k = key_ref(x);
         splitters_ref.partition_point(|s| *s <= k)
     });
@@ -68,7 +88,7 @@ where
     // Sort the buckets in parallel: disjoint sub-slices claimed through an
     // atomic cursor, chaos-instrumented like `parallel_for` chunks.
     let base = crate::reduce::SendPtr::new(data.as_mut_ptr());
-    let bounds_ref = &bounds;
+    let bounds_ref: &[usize] = &bounds;
     let cursor = AtomicUsize::new(0);
     pool.broadcast(|ctx| loop {
         crate::chaos::chunk_claim(ctx.tid);
@@ -87,7 +107,7 @@ where
 }
 
 /// Convenience: parallel sort of items that are themselves `Ord`.
-pub fn par_sort<T: Send + Sync + Clone + Ord>(pool: &ThreadPool, data: &mut [T]) {
+pub fn par_sort<T: Send + Sync + Clone + Ord + 'static>(pool: &ThreadPool, data: &mut [T]) {
     par_sort_by_key(pool, data, |x| x.clone());
 }
 
