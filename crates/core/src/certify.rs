@@ -15,37 +15,25 @@
 //! 4. **cycle property**: every non-tree edge is at least as heavy as
 //!    every tree edge on the tree path between its endpoints.
 //!
-//! Check 4 needs path-maximum queries. Instead of walking tree paths
-//! (O(m · depth) — hopeless on road networks whose MSTs are thousands of
-//! hops deep), we use the **Kruskal merge order** of `T`'s vertices: replay
-//! the tree edges in increasing key order, keeping each component's
-//! vertices as a linked chain, and on each merge concatenate the two chains
-//! and stamp the merge key on the *separator* between them. King's lemma
-//! says path-max(u, v) is the key of the merge that first united `u` and
-//! `v`; because keys only grow, that is exactly the **largest separator
-//! between `u` and `v` in the final chain order** (later merges only ever
-//! stamp separators outside the `u..v` interval). So the whole Borůvka-tree
-//! LCA machinery collapses to one array of `n` separator keys and a
-//! range-maximum structure over it: block prefix/suffix maxima plus a
-//! sparse table over per-block maxima answer any cross-block range with
-//! four independent loads, and per-position monotone-stack bitmasks cover
-//! ranges inside one block. Component boundaries keep an infinite
-//! separator, so cross-tree queries answer themselves — no component
-//! labels, no Euler tour, no depth arrays; every query touches `n`-sized
-//! arrays that stay cache-resident at road/RMAT scale. Total cost:
-//! O(n log n) to build — sorting only the `n−1` tree edges (skipped
-//! entirely when they already arrive key-sorted, as Kruskal-family outputs
-//! do), never the `m` graph edges — and O(1) per graph edge to query.
+//! Check 4 needs path-maximum queries. The King-style machinery that
+//! answers them — the Kruskal merge-order separator array plus an O(1)
+//! range-max structure — lives in [`crate::index`] as the reusable
+//! [`PathMaxIndex`]: building it *is* checks 1-in-part and 2 (the merge
+//! replay rejects cycles and out-of-range endpoints), and this module is a
+//! thin consumer that sweeps the graph's edges against it. The same index
+//! an operator builds once to serve `component` / `path_max` /
+//! `connected_under` traffic (see `llp-serve`) is the one certification
+//! queries — verify and serve share one code path.
 //!
 //! The per-query constant is kept deliberately lean:
 //!
-//! * keys live in the structure as order-isomorphic `u128`s, so every
+//! * keys live in the index as order-isomorphic `u128`s, so every
 //!   range-max comparison is branch-free integer ALU;
 //! * no tree-edge hash lookups — a tree edge's key *equals* its own path
 //!   maximum, so check 1 degenerates to counting exact key matches (a
 //!   mismatch triggers a slow per-edge scan to name the foreign edge);
-//! * check 2 falls out of the merge replay (a merge of an already-joined
-//!   component is the cycle witness);
+//! * check 2 falls out of the index's merge replay (a merge of an
+//!   already-joined component is the cycle witness);
 //! * check 3 is the infinite-separator sentinel — spanning violations are
 //!   discovered by the same `key < path-max` compare that catches cycle
 //!   violations, keeping one rare branch in the whole sweep (the failing
@@ -59,266 +47,13 @@
 //! every benchmarked construction (see the `certified` field of the
 //! `llp-mst-run-report/v1` schema).
 
+use crate::index::{key_bits, PathMaxIndex, INF_KEY};
 use crate::result::MstResult;
-use crate::union_find::UnionFind;
 use crate::verify::VerifyError;
-use llp_graph::weight::Weight;
 use llp_graph::{CsrGraph, Edge, EdgeKey, VertexId};
-use llp_runtime::sort::par_sort_by_key;
 use llp_runtime::sync::Mutex;
 use llp_runtime::{parallel_for_chunks, telemetry, ParallelForConfig, ThreadPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-const NO_NODE: u32 = u32::MAX;
-
-/// Separator-array block width for the range-max structure; equal to the
-/// bitmask width, so any in-block range is answered with two bit
-/// operations.
-const BLOCK: usize = 32;
-
-/// No real key reaches this: its endpoint fields would have to be
-/// `u32::MAX` twice, and endpoints are distinct vertex ids.
-const INF_KEY: u128 = u128::MAX;
-
-/// Packs `(weight, lo, hi)` into a `u128` whose integer order equals the
-/// canonical [`EdgeKey`] order: weight-major (via the usual monotone
-/// sign-flip encoding of IEEE 754 doubles), endpoints as tie-break.
-#[inline]
-fn key_bits(w: Weight, u: VertexId, v: VertexId) -> u128 {
-    let (lo, hi) = if u < v { (u, v) } else { (v, u) };
-    let b = w.to_bits();
-    let ord = if b >> 63 == 0 { b | (1 << 63) } else { !b };
-    ((ord as u128) << 64) | ((lo as u128) << 32) | hi as u128
-}
-
-/// The Kruskal merge order of a forest: `pos` places every vertex on a
-/// line, `sep` holds the merge keys between adjacent positions, and
-/// path-max(u, v) is the range maximum of `sep` strictly between the two
-/// positions ([`INF_KEY`] ⇔ different trees).
-struct MergeOrder {
-    /// Position of each vertex in the concatenated merge order.
-    pos: Vec<u32>,
-    /// `sep[p]`: key of the merge that joined position `p`'s prefix to its
-    /// suffix within one component, or [`INF_KEY`] where position `p` ends
-    /// a component.
-    sep: Vec<u128>,
-    /// Monotone-stack bitmask per position: bit `j` of `mask[i]` is set
-    /// iff `sep[i - j]` is larger than every separator in `(i-j, i]`. The
-    /// argmax of any in-block range `[l, r]` is then `r - msb(mask[r] &
-    /// window)`. Used only when a query fits inside one block.
-    mask: Vec<u32>,
-    /// Running max of `sep` from the enclosing block's start through each
-    /// position (inclusive).
-    prefix: Vec<u128>,
-    /// Running max of `sep` from each position through the enclosing
-    /// block's end (inclusive).
-    suffix: Vec<u128>,
-    /// `sparse[k][b]`: max separator across blocks `b .. b + 2^k` (level 0
-    /// is the per-block max). Values, not positions: a cross-block query
-    /// is then four independent loads with no argmax indirection.
-    sparse: Vec<Vec<u128>>,
-    /// When the forest is one spanning tree, the weight of its heaviest
-    /// edge: a graph edge strictly heavier passes the cycle property with
-    /// a single register compare (no cross-tree queries can exist, so the
-    /// spanning check cannot be short-circuited away). Infinite — the
-    /// filter never fires — for true forests.
-    pass_above: f64,
-}
-
-impl MergeOrder {
-    /// Replays `result`'s edges in key order over `n` vertices, detecting
-    /// cycles in the process.
-    fn build(
-        n: usize,
-        result: &MstResult,
-        pool: Option<&ThreadPool>,
-    ) -> Result<MergeOrder, VerifyError> {
-        // Tree edges in increasing key order. Kruskal-family results are
-        // already sorted — detect that in O(t) and skip the sort.
-        let keyed: Vec<(EdgeKey, u32)> = {
-            let _s = telemetry::span("certify-build-sort");
-            let mut keyed: Vec<(EdgeKey, u32)> = result
-                .edges
-                .iter()
-                .enumerate()
-                .map(|(i, e)| (e.key(), i as u32))
-                .collect();
-            if !keyed.windows(2).all(|w| w[0].0 <= w[1].0) {
-                match pool {
-                    Some(pool) => par_sort_by_key(pool, &mut keyed, |p| p.0),
-                    None => keyed.sort_unstable(),
-                }
-            }
-            keyed
-        };
-
-        // Merge replay. Each component is a chain (`head`/`last` are valid
-        // at union-find roots); a merge concatenates the chains in O(1)
-        // and stamps the merge key on the single separator where they now
-        // touch. A separator is stamped at most once: once a vertex has a
-        // successor it is interior to its chain forever. A merge of an
-        // already-joined component is the cycle witness.
-        let _s = telemetry::span("certify-build-merge");
-        let t = keyed.len();
-        let pass_above = if t + 1 == n && t > 0 {
-            result.edges[keyed[t - 1].1 as usize].w
-        } else {
-            f64::INFINITY
-        };
-        let mut uf = UnionFind::new(n);
-        let mut next: Vec<u32> = vec![NO_NODE; n];
-        let mut head: Vec<u32> = (0..n as u32).collect();
-        let mut last: Vec<u32> = (0..n as u32).collect();
-        let mut sep_after: Vec<u128> = vec![INF_KEY; n];
-        for &(_, ei) in &keyed {
-            let e = &result.edges[ei as usize];
-            let ra = uf.find(e.u) as usize;
-            let rb = uf.find(e.v) as usize;
-            if ra == rb {
-                return Err(VerifyError::Cycle(*e));
-            }
-            let joint = last[ra] as usize;
-            sep_after[joint] = key_bits(e.w, e.u, e.v);
-            next[joint] = head[rb];
-            let (h, l) = (head[ra], last[rb]);
-            uf.union(ra as VertexId, rb as VertexId);
-            let r = uf.find(ra as VertexId) as usize;
-            head[r] = h;
-            last[r] = l;
-        }
-        drop(keyed);
-        drop(_s);
-
-        // Walk each root's chain once to lay out positions and gather the
-        // separators into merge order. Chain tails keep their infinite
-        // separator, which is exactly the component boundary sentinel.
-        let _s = telemetry::span("certify-build-scatter");
-        let mut pos = vec![0u32; n];
-        let mut sep: Vec<u128> = Vec::with_capacity(n);
-        for v in 0..n as VertexId {
-            if uf.find(v) != v {
-                continue;
-            }
-            let mut x = head[v as usize];
-            while x != NO_NODE {
-                pos[x as usize] = sep.len() as u32;
-                sep.push(sep_after[x as usize]);
-                x = next[x as usize];
-            }
-        }
-        debug_assert_eq!(sep.len(), n);
-        drop(_s);
-
-        // Two-level range-max over `sep`: per-position monotone-stack
-        // masks for O(1) in-block queries; block prefix/suffix maxima and
-        // a sparse table over per-block maxima for everything wider.
-        let _s = telemetry::span("certify-build-rmq");
-        let nblocks = n.div_ceil(BLOCK).max(1);
-        let mut mask = vec![0u32; n];
-        let mut prefix: Vec<u128> = Vec::with_capacity(n);
-        let mut suffix: Vec<u128> = vec![INF_KEY; n];
-        let mut block_max = vec![INF_KEY; nblocks];
-        for (b, bmax) in block_max.iter_mut().enumerate() {
-            let lo = b * BLOCK;
-            let hi = ((b + 1) * BLOCK).min(n);
-            if lo >= hi {
-                continue; // only the n = 0 degenerate block
-            }
-            let mut m = 0u32;
-            let mut run = sep[lo];
-            for i in lo..hi {
-                m <<= 1;
-                while m != 0 && sep[i - m.trailing_zeros() as usize] <= sep[i] {
-                    m &= m - 1;
-                }
-                m |= 1;
-                mask[i] = m;
-                run = run.max(sep[i]);
-                prefix.push(run);
-            }
-            *bmax = run;
-            let mut run = sep[hi - 1];
-            for i in (lo..hi).rev() {
-                run = run.max(sep[i]);
-                suffix[i] = run;
-            }
-        }
-        let levels = usize::BITS as usize - nblocks.leading_zeros() as usize;
-        let mut sparse: Vec<Vec<u128>> = Vec::with_capacity(levels);
-        sparse.push(block_max);
-        let mut k = 1;
-        while (1 << k) <= nblocks {
-            let prev = &sparse[k - 1];
-            let width = 1 << (k - 1);
-            let level: Vec<u128> = (0..=nblocks - (1 << k))
-                .map(|b| prev[b].max(prev[b + width]))
-                .collect();
-            sparse.push(level);
-            k += 1;
-        }
-
-        Ok(MergeOrder {
-            pos,
-            sep,
-            mask,
-            prefix,
-            suffix,
-            sparse,
-            pass_above,
-        })
-    }
-
-    /// Maximum separator in `[l, r]`, both inside one block: the argmax is
-    /// the oldest surviving monotone-stack entry within the window.
-    #[inline]
-    fn inblock(&self, l: usize, r: usize) -> u128 {
-        let w = r - l + 1; // 1..=BLOCK
-        let mm = self.mask[r] & (u32::MAX >> (32 - w));
-        self.sep[r - (31 - mm.leading_zeros() as usize)]
-    }
-
-    /// Maximum separator in `lo..=hi`.
-    #[inline]
-    fn rmq(&self, lo: usize, hi: usize) -> u128 {
-        let bl = lo / BLOCK;
-        let bh = hi / BLOCK;
-        if bl == bh {
-            return self.inblock(lo, hi);
-        }
-        // `lo`'s block tail, `hi`'s block head, and (via the sparse table)
-        // the whole blocks strictly between: four independent loads,
-        // combined branch-free.
-        let mut best = self.suffix[lo].max(self.prefix[hi]);
-        if bl + 1 < bh {
-            let (a, b) = (bl + 1, bh - 1);
-            let k = usize::BITS as usize - 1 - (b - a + 1).leading_zeros() as usize;
-            best = best
-                .max(self.sparse[k][a])
-                .max(self.sparse[k][b + 1 - (1 << k)]);
-        }
-        best
-    }
-
-    /// Maximum tree-edge key on the forest path between the vertices at
-    /// positions `pu` and `pv`; [`INF_KEY`] when they live in different
-    /// trees.
-    #[inline]
-    fn path_max_at(&self, pu: u32, pv: u32) -> u128 {
-        let (lo, hi) = if pu < pv { (pu, pv) } else { (pv, pu) };
-        self.rmq(lo as usize, hi as usize - 1)
-    }
-
-    /// [`Self::path_max_at`] addressed by vertex id.
-    #[cfg(test)]
-    fn path_max(&self, u: VertexId, v: VertexId) -> Option<u128> {
-        let max = self.path_max_at(self.pos[u as usize], self.pos[v as usize]);
-        if max == INF_KEY {
-            None
-        } else {
-            Some(max)
-        }
-    }
-}
 
 /// Sequential near-linear certification that `result` is the canonical MSF
 /// of `graph` — no Kruskal oracle, no O(|T|·m) cut scans.
@@ -360,7 +95,7 @@ struct Scratch {
 /// terminal, and [`classify_vertex`] re-derives the precise error.
 #[inline]
 fn check_vertex(
-    order: &MergeOrder,
+    index: &PathMaxIndex,
     graph: &CsrGraph,
     u: VertexId,
     scratch: &mut Scratch,
@@ -371,12 +106,12 @@ fn check_vertex(
         scratch.pv.resize(deg, 0);
         scratch.key.resize(deg, 0);
     }
-    let pu = order.pos[u as usize];
-    let pass_above = order.pass_above;
+    let pu = index.pos[u as usize];
+    let pass_above = index.pass_above;
     let mut k = 0usize;
     for i in 0..deg {
         let (v, w) = (targets[i], weights[i]);
-        scratch.pv[k] = order.pos[v as usize];
+        scratch.pv[k] = index.pos[v as usize];
         scratch.key[k] = key_bits(w, u, v);
         // Keep forward arcs not already retired by the single-tree weight
         // filter (an edge heavier than every tree edge passes the cycle
@@ -391,7 +126,7 @@ fn check_vertex(
         // violation, or `max = INF_KEY` marking a cross-tree edge. A graph
         // edge whose key *equals* the path max is the tree edge joining
         // those components (keys are unique).
-        let max_on_path = order.path_max_at(pu, scratch.pv[j]);
+        let max_on_path = index.path_max_at(pu, scratch.pv[j]);
         bad |= scratch.key[j] < max_on_path;
         matched += usize::from(scratch.key[j] == max_on_path);
     }
@@ -404,13 +139,13 @@ fn check_vertex(
 /// Slow mirror of [`check_vertex`], taken only for a vertex whose sweep
 /// failed: classifies and names the offending edge.
 #[cold]
-fn classify_vertex(order: &MergeOrder, graph: &CsrGraph, u: VertexId) -> VerifyError {
-    let pu = order.pos[u as usize];
+fn classify_vertex(index: &PathMaxIndex, graph: &CsrGraph, u: VertexId) -> VerifyError {
+    let pu = index.pos[u as usize];
     for (v, w) in graph.neighbors(u) {
-        if v <= u || w > order.pass_above {
+        if v <= u || w > index.pass_above {
             continue;
         }
-        let max_on_path = order.path_max_at(pu, order.pos[v as usize]);
+        let max_on_path = index.path_max_at(pu, index.pos[v as usize]);
         if key_bits(w, u, v) < max_on_path {
             return if max_on_path == INF_KEY {
                 VerifyError::NotSpanning(Edge::new(u, v, w))
@@ -439,10 +174,35 @@ fn certify_impl(
 ) -> Result<(), VerifyError> {
     let n = graph.num_vertices();
     let t = result.edges.len();
-    let order = {
+    let index = {
         let _s = telemetry::span("certify-build");
-        MergeOrder::build(n, result, pool)?
+        match pool {
+            Some(pool) => PathMaxIndex::build_par(n, result, pool)?,
+            None => PathMaxIndex::build(n, result)?,
+        }
     };
+    certify_against(graph, result, &index, pool)?;
+    debug_assert_eq!(index.num_components() + t, n);
+    Ok(())
+}
+
+/// The query half of certification: sweeps every graph edge against an
+/// already-built [`PathMaxIndex`] of `result`. Callers that keep the index
+/// around for serving (e.g. `llp-serve`) use this directly so the build
+/// cost is paid once.
+pub fn certify_against(
+    graph: &CsrGraph,
+    result: &MstResult,
+    index: &PathMaxIndex,
+    pool: Option<&ThreadPool>,
+) -> Result<(), VerifyError> {
+    let n = graph.num_vertices();
+    let t = result.edges.len();
+    assert_eq!(
+        index.num_vertices(),
+        n,
+        "index built over a different vertex set than the graph"
+    );
 
     // Sweep every graph edge once: non-tree edges must not beat the path
     // maximum between their endpoints (cycle property) and must not cross
@@ -455,9 +215,9 @@ fn certify_impl(
             let mut scratch = Scratch::default();
             let mut matched = 0usize;
             for u in 0..n as VertexId {
-                match check_vertex(&order, graph, u, &mut scratch) {
+                match check_vertex(index, graph, u, &mut scratch) {
                     Ok(m) => matched += m,
-                    Err(()) => return Err(classify_vertex(&order, graph, u)),
+                    Err(()) => return Err(classify_vertex(index, graph, u)),
                 }
             }
             matched
@@ -471,10 +231,10 @@ fn certify_impl(
                 let mut scratch = Scratch::default();
                 let mut local = 0usize;
                 for u in chunk {
-                    match check_vertex(&order, graph, u as VertexId, &mut scratch) {
+                    match check_vertex(index, graph, u as VertexId, &mut scratch) {
                         Ok(m) => local += m,
                         Err(()) => {
-                            let err = classify_vertex(&order, graph, u as VertexId);
+                            let err = classify_vertex(index, graph, u as VertexId);
                             let key = match &err {
                                 VerifyError::CutViolation(e) | VerifyError::NotSpanning(e) => {
                                     e.key()
@@ -700,31 +460,12 @@ mod tests {
     }
 
     #[test]
-    fn range_max_matches_naive_scan() {
-        // Exercise the bitmask range-max against a brute-force scan on a
-        // real separator array (caterpillar: mixes a long spine with
-        // shallow legs, so separators are far from monotone).
-        let g = llp_graph::generators::caterpillar(40, 3, 5);
-        let msf = kruskal(&g);
-        let order = MergeOrder::build(g.num_vertices(), &msf, None).unwrap();
-        let len = order.sep.len();
-        assert_eq!(len, g.num_vertices());
-        for lo in 0..len {
-            for hi in lo..len.min(lo + 2 * BLOCK + 2) {
-                let got = order.rmq(lo, hi);
-                let want = (lo..=hi).map(|i| order.sep[i]).max().unwrap();
-                assert_eq!(got, want, "rmq({lo},{hi})");
-            }
-        }
-    }
-
-    #[test]
     fn path_max_matches_tree_walk_on_random_forest() {
         // Cross-check path_max against an explicit BFS path walk on a
         // sparse random forest (several components).
         let g = llp_graph::generators::erdos_renyi(80, 70, 5);
         let msf = kruskal(&g);
-        let order = MergeOrder::build(g.num_vertices(), &msf, None).unwrap();
+        let index = PathMaxIndex::build(g.num_vertices(), &msf).unwrap();
 
         // Adjacency of the forest itself.
         let n = g.num_vertices();
@@ -755,9 +496,22 @@ mod tests {
         for u in (0..n as u32).step_by(7) {
             for v in (0..n as u32).step_by(5) {
                 if u != v {
-                    assert_eq!(order.path_max(u, v), walk_max(u, v), "path {u}..{v}");
+                    assert_eq!(index.path_max_key(u, v), walk_max(u, v), "path {u}..{v}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn certify_against_reuses_a_prebuilt_index() {
+        // The serve-style flow: build once, certify against it, then keep
+        // answering queries from the same index.
+        let g = llp_graph::generators::erdos_renyi(150, 400, 13);
+        let msf = kruskal(&g);
+        let index = PathMaxIndex::build(g.num_vertices(), &msf).unwrap();
+        certify_against(&g, &msf, &index, None).unwrap();
+        let pool = ThreadPool::new(2);
+        certify_against(&g, &msf, &index, Some(&pool)).unwrap();
+        assert_eq!(index.num_components(), msf.num_trees);
     }
 }

@@ -39,6 +39,7 @@ pub mod contraction;
 pub mod filter_kruskal;
 pub mod heap;
 pub mod hybrid;
+pub mod index;
 pub mod kruskal;
 pub mod llp_boruvka;
 pub mod llp_prim;
@@ -69,7 +70,8 @@ pub mod prelude {
     pub use crate::prim::{prim_indexed, prim_lazy};
     pub use crate::result::{MstError, MstResult};
     pub use crate::stats::AlgoStats;
-    pub use crate::certify::{certify_msf, certify_msf_par};
+    pub use crate::certify::{certify_against, certify_msf, certify_msf_par};
+    pub use crate::index::PathMaxIndex;
     pub use crate::tree::RootedForest;
     pub use crate::verify::{verify_cut_property, verify_cycle_property, verify_forest_structure, verify_msf};
 }

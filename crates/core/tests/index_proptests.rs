@@ -1,0 +1,211 @@
+//! Property-style tests for [`llp_mst::index::PathMaxIndex`]: the O(1)
+//! answers are compared against a naive tree-path walk (BFS parent
+//! trace, then a max over the traced edges) on seeded random forests.
+//! Cases are deterministic seed sweeps over
+//! [`llp_runtime::rng::SmallRng`] (hermetic builds cannot depend on
+//! `proptest`).
+//!
+//! The sweep deliberately covers the index's block machinery: vertex
+//! counts straddling the 32-position block size (31/32/33/63/64/65 and
+//! random non-multiples), long paths whose queries cross many block
+//! boundaries, and multi-component forests where queries must answer
+//! `None` across trees.
+
+use llp_graph::Edge;
+use llp_mst::index::PathMaxIndex;
+use llp_mst::result::MstResult;
+use llp_mst::union_find::UnionFind;
+use llp_runtime::rng::SmallRng;
+use llp_runtime::ThreadPool;
+use std::collections::VecDeque;
+
+const CASES: u64 = 48;
+
+/// A random forest over `n` vertices: each vertex after the first either
+/// starts a new tree (probability `p_break`) or attaches to a uniformly
+/// random earlier vertex with a uniform weight. A quarter of the weights
+/// collide at 0.5 to exercise the endpoint tiebreak.
+fn random_forest(rng: &mut SmallRng, n: usize, p_break: f64) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    for v in 1..n as u32 {
+        if rng.gen_bool(p_break) {
+            continue; // v roots a new tree
+        }
+        let u = rng.gen_range(0..v);
+        let w = if rng.gen_bool(0.25) {
+            0.5 // deliberate tie: order falls to the endpoint pair
+        } else {
+            rng.gen::<f64>()
+        };
+        edges.push(Edge::new(u, v, w));
+    }
+    edges
+}
+
+/// Naive reference: BFS from `u` over the tree adjacency, trace parents
+/// back from `v`, and take the maximum edge key on the path.
+fn naive_path_max(n: usize, edges: &[Edge], u: u32, v: u32) -> Option<Edge> {
+    if u == v {
+        return None;
+    }
+    let mut adj: Vec<Vec<(u32, Edge)>> = vec![Vec::new(); n];
+    for e in edges {
+        adj[e.u as usize].push((e.v, *e));
+        adj[e.v as usize].push((e.u, *e));
+    }
+    let mut parent: Vec<Option<(u32, Edge)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::from([u]);
+    seen[u as usize] = true;
+    while let Some(x) = queue.pop_front() {
+        for &(y, e) in &adj[x as usize] {
+            if !seen[y as usize] {
+                seen[y as usize] = true;
+                parent[y as usize] = Some((x, e));
+                queue.push_back(y);
+            }
+        }
+    }
+    if !seen[v as usize] {
+        return None;
+    }
+    let mut best: Option<Edge> = None;
+    let mut cur = v;
+    while cur != u {
+        let (prev, e) = parent[cur as usize].unwrap();
+        if best.is_none_or(|b| e.key() > b.key()) {
+            best = Some(e);
+        }
+        cur = prev;
+    }
+    best
+}
+
+fn build(n: usize, edges: Vec<Edge>) -> (PathMaxIndex, Vec<Edge>) {
+    let result = MstResult::from_edges(n, edges, Default::default());
+    let index = PathMaxIndex::build(n, &result).expect("forests must index");
+    (index, result.edges)
+}
+
+#[test]
+fn path_max_matches_naive_walk_on_random_forests() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Deliberately not a multiple of the 32-position block size most
+        // of the time.
+        let n = rng.gen_range(2usize..300);
+        let (index, edges) = build(n, random_forest(&mut rng, n, 0.08));
+        for _ in 0..64 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            let want = naive_path_max(n, &edges, u, v);
+            let got = index.path_max(u, v);
+            assert_eq!(
+                got.map(|k| (k.lo(), k.hi())),
+                want.map(|e| e.key()).map(|k| (k.lo(), k.hi())),
+                "seed {seed}, n {n}, query ({u}, {v})"
+            );
+            // The decoded bottleneck is the same physical edge.
+            let bottleneck = index.bottleneck(u, v);
+            assert_eq!(
+                bottleneck.map(|e| e.key()),
+                want.map(|e| e.key()),
+                "seed {seed}, n {n}, query ({u}, {v})"
+            );
+            if let (Some(b), Some(w)) = (bottleneck, want) {
+                assert_eq!(b.w, w.w, "seed {seed}: decoded weight must survive");
+            }
+        }
+    }
+}
+
+#[test]
+fn block_boundary_sizes_and_straddling_queries() {
+    // Path forests at sizes around the 32-position block boundary: the
+    // chain layout makes every adjacent pair one separator apart, and
+    // long-range queries cross many blocks.
+    for &n in &[2usize, 31, 32, 33, 63, 64, 65, 95, 96, 97, 255, 256, 257] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let edges: Vec<Edge> = (1..n as u32)
+            .map(|v| Edge::new(v - 1, v, rng.gen::<f64>()))
+            .collect();
+        let (index, edges) = build(n, edges);
+        let mut queries: Vec<(u32, u32)> = vec![(0, n as u32 - 1)];
+        // Pairs hugging every block multiple that fits.
+        for b in (32..n).step_by(32) {
+            let b = b as u32;
+            queries.push((b - 1, b));
+            queries.push((b - 1, (b + 1).min(n as u32 - 1)));
+            queries.push((0, b));
+        }
+        for _ in 0..32 {
+            queries.push((rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)));
+        }
+        for (u, v) in queries {
+            assert_eq!(
+                index.path_max(u, v),
+                naive_path_max(n, &edges, u, v).map(|e| e.key()),
+                "n {n}, query ({u}, {v})"
+            );
+        }
+    }
+}
+
+#[test]
+fn components_and_thresholds_match_union_find() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xc0ff_ee00);
+        let n = rng.gen_range(1usize..250);
+        let forest = random_forest(&mut rng, n, 0.15);
+        let (index, edges) = build(n, forest);
+
+        let mut uf = UnionFind::new(n);
+        for e in &edges {
+            uf.union(e.u, e.v);
+        }
+        assert_eq!(index.num_components(), uf.num_components(), "seed {seed}");
+
+        // Threshold connectivity under three random λ values per case.
+        for _ in 0..3 {
+            let lambda = rng.gen::<f64>();
+            let mut tf = UnionFind::new(n);
+            for e in edges.iter().filter(|e| e.w <= lambda) {
+                tf.union(e.u, e.v);
+            }
+            for _ in 0..48 {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                assert_eq!(
+                    index.connected(u, v),
+                    uf.find(u) == uf.find(v),
+                    "seed {seed}, ({u}, {v})"
+                );
+                assert_eq!(
+                    index.connected_under(u, v, lambda),
+                    tf.find(u) == tf.find(v),
+                    "seed {seed}, λ {lambda}, ({u}, {v})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_build_is_bit_identical_to_sequential() {
+    let pool = ThreadPool::new(3);
+    for seed in 0..CASES / 2 {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        let n = rng.gen_range(1usize..400);
+        let forest = random_forest(&mut rng, n, 0.1);
+        let result = MstResult::from_edges(n, forest, Default::default());
+        let seq = PathMaxIndex::build(n, &result).unwrap();
+        let par = PathMaxIndex::build_par(n, &result, &pool).unwrap();
+        assert_eq!(seq.num_components(), par.num_components(), "seed {seed}");
+        for _ in 0..64 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            assert_eq!(seq.path_max(u, v), par.path_max(u, v), "seed {seed}");
+            assert_eq!(seq.component(u), par.component(u), "seed {seed}");
+        }
+    }
+}

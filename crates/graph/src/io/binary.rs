@@ -1,4 +1,5 @@
-//! Fast little-endian binary graph format, for caching generated workloads.
+//! Fast little-endian binary graph format, for caching generated workloads
+//! and feeding long-running services.
 //!
 //! Layout (all little-endian):
 //!
@@ -9,14 +10,38 @@
 //! m       u64      undirected edge count
 //! m × (u: u32, v: u32, w: f64)
 //! ```
+//!
+//! ## Untrusted input
+//!
+//! Readers never trust the header: a corrupt or adversarial file cannot
+//! force a multi-gigabyte allocation or a panic. The vertex count is
+//! bounded by the `u32` id space, edge-buffer pre-allocation is capped
+//! until the claimed `m` has been proven against the input's actual length
+//! ([`read_binary_slice`] / [`read_binary_seek`] check `m × 16` bytes
+//! against the remaining input up front; the plain [`read_binary`]
+//! streaming path grows the buffer only as edges really arrive), and every
+//! violation — truncation, out-of-range endpoints, self-loops, non-finite
+//! weights — fails with [`IoError::ParseBytes`] naming the byte offset and
+//! edge ordinal where it happened.
 
 use super::IoError;
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 
 const MAGIC: &[u8; 8] = b"LLPGRAPH";
 const VERSION: u32 = 1;
+
+/// Fixed header size: magic (8) + version (4) + n (8) + m (8).
+const HEADER_BYTES: u64 = 28;
+/// On-disk size of one edge record: `u: u32, v: u32, w: f64`.
+const EDGE_BYTES: u64 = 16;
+/// Pre-allocation cap for streaming readers that cannot verify `m`
+/// against an input length (16 MiB of edges); the buffer grows past it
+/// only as edges actually arrive, so a lying header costs nothing.
+const PREALLOC_EDGES: usize = 1 << 20;
+/// Vertex ids are `u32`, so no valid file names more vertices than this.
+const MAX_VERTICES: u64 = 1 << 32;
 
 /// Writes the graph in binary form.
 pub fn write_binary<W: Write>(graph: &CsrGraph, mut w: W) -> std::io::Result<()> {
@@ -32,46 +57,141 @@ pub fn write_binary<W: Write>(graph: &CsrGraph, mut w: W) -> std::io::Result<()>
     Ok(())
 }
 
-/// Reads a graph written by [`write_binary`].
-pub fn read_binary<R: Read>(mut r: R) -> Result<CsrGraph, IoError> {
+/// Reads a graph written by [`write_binary`] from a plain byte stream.
+///
+/// Streaming: the claimed edge count cannot be checked against an input
+/// length, so pre-allocation is capped and truncation surfaces as a
+/// [`IoError::ParseBytes`] naming the edge where the stream ended. Prefer
+/// [`read_binary_slice`] / [`read_binary_seek`] when the input's length is
+/// knowable — they reject a lying header before reading any edge.
+pub fn read_binary<R: Read>(r: R) -> Result<CsrGraph, IoError> {
+    read_binary_impl(r, None)
+}
+
+/// [`read_binary`] over an in-memory slice: the header's claimed `m` is
+/// validated against `buf.len()` (exactly `28 + 16·m` bytes, no trailing
+/// garbage) before any allocation or edge decoding.
+pub fn read_binary_slice(buf: &[u8]) -> Result<CsrGraph, IoError> {
+    read_binary_impl(buf, Some(buf.len() as u64))
+}
+
+/// [`read_binary`] over a seekable reader (e.g. a [`std::fs::File`]): the
+/// remaining input length is measured by seeking once, then validated
+/// against the header exactly like [`read_binary_slice`].
+pub fn read_binary_seek<R: Read + Seek>(mut r: R) -> Result<CsrGraph, IoError> {
+    let pos = r.stream_position()?;
+    let end = r.seek(SeekFrom::End(0))?;
+    r.seek(SeekFrom::Start(pos))?;
+    read_binary_impl(r, Some(end.saturating_sub(pos)))
+}
+
+fn read_binary_impl<R: Read>(mut r: R, total_len: Option<u64>) -> Result<CsrGraph, IoError> {
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic)
+        .map_err(|e| eof_at(e, 0, "magic"))?;
     if &magic != MAGIC {
-        return Err(IoError::Parse(0, "bad magic".into()));
+        return Err(IoError::ParseBytes(0, "bad magic".into()));
     }
-    let version = read_u32(&mut r)?;
+    let version = read_u32(&mut r, 8, "version")?;
     if version != VERSION {
-        return Err(IoError::Parse(0, format!("unsupported version {version}")));
+        return Err(IoError::ParseBytes(
+            8,
+            format!("unsupported version {version}"),
+        ));
     }
-    let n = read_u64(&mut r)? as usize;
-    let m = read_u64(&mut r)? as usize;
-    let mut b = GraphBuilder::with_capacity(n, m);
-    for _ in 0..m {
-        let u = read_u32(&mut r)?;
-        let v = read_u32(&mut r)?;
-        let mut wb = [0u8; 8];
-        r.read_exact(&mut wb)?;
-        let w = f64::from_le_bytes(wb);
-        if (u as usize) >= n || (v as usize) >= n {
-            return Err(IoError::Parse(0, "endpoint out of range".into()));
+    let n64 = read_u64(&mut r, 12, "vertex count")?;
+    if n64 > MAX_VERTICES {
+        return Err(IoError::ParseBytes(
+            12,
+            format!("vertex count {n64} exceeds the u32 id space"),
+        ));
+    }
+    let n = n64 as usize;
+    let m64 = read_u64(&mut r, 20, "edge count")?;
+
+    // With a known input length the header is either exactly right or the
+    // file is corrupt — reject before allocating or decoding anything.
+    // Without one (pure stream), cap the pre-allocation; a lying `m` then
+    // dies on the first missing edge record instead of in the allocator.
+    let prealloc = match total_len {
+        Some(len) => {
+            let payload = len.saturating_sub(HEADER_BYTES);
+            if m64 > payload / EDGE_BYTES {
+                return Err(IoError::ParseBytes(
+                    20,
+                    format!(
+                        "header claims {m64} edges ({} bytes) but only {payload} \
+                         payload bytes remain",
+                        m64.saturating_mul(EDGE_BYTES),
+                    ),
+                ));
+            }
+            if payload != m64 * EDGE_BYTES {
+                return Err(IoError::ParseBytes(
+                    20,
+                    format!(
+                        "payload length {payload} disagrees with header \
+                         (expected exactly {} bytes for {m64} edges)",
+                        m64 * EDGE_BYTES,
+                    ),
+                ));
+            }
+            m64 as usize
         }
-        if w.is_nan() {
-            return Err(IoError::Parse(0, "NaN weight".into()));
+        None => (m64.min(PREALLOC_EDGES as u64)) as usize,
+    };
+
+    let mut b = GraphBuilder::with_capacity(n, prealloc);
+    let mut rec = [0u8; EDGE_BYTES as usize];
+    for i in 0..m64 {
+        let off = HEADER_BYTES + i * EDGE_BYTES;
+        r.read_exact(&mut rec)
+            .map_err(|e| eof_at(e, off, &format!("edge #{i}")))?;
+        let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let w = f64::from_le_bytes(rec[8..16].try_into().unwrap());
+        if (u as u64) >= n64 || (v as u64) >= n64 {
+            return Err(IoError::ParseBytes(
+                off,
+                format!("edge #{i}: endpoint ({u},{v}) out of range (n = {n})"),
+            ));
+        }
+        if u == v {
+            return Err(IoError::ParseBytes(
+                off,
+                format!("edge #{i}: self-loop at vertex {u}"),
+            ));
+        }
+        if !w.is_finite() {
+            return Err(IoError::ParseBytes(
+                off + 8,
+                format!("edge #{i}: non-finite weight {w}"),
+            ));
         }
         b.add_edge(u, v, w);
     }
     Ok(b.build())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
+/// Maps an unexpected end-of-input to a [`IoError::ParseBytes`] naming
+/// what was being read and where; other I/O failures pass through.
+fn eof_at(e: std::io::Error, offset: u64, what: &str) -> IoError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        IoError::ParseBytes(offset, format!("input truncated while reading {what}"))
+    } else {
+        IoError::Io(e)
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R, offset: u64, what: &str) -> Result<u32, IoError> {
     let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
+    r.read_exact(&mut b).map_err(|e| eof_at(e, offset, what))?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+fn read_u64<R: Read>(r: &mut R, offset: u64, what: &str) -> Result<u64, IoError> {
     let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
+    r.read_exact(&mut b).map_err(|e| eof_at(e, offset, what))?;
     Ok(u64::from_le_bytes(b))
 }
 
@@ -79,6 +199,28 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
 mod tests {
     use super::*;
     use crate::generators::{erdos_renyi, road_network, RoadParams};
+
+    /// A syntactically valid file: header plus raw edge records.
+    fn file(n: u64, m: u64, edges: &[(u32, u32, f64)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&m.to_le_bytes());
+        for &(u, v, w) in edges {
+            buf.extend_from_slice(&u.to_le_bytes());
+            buf.extend_from_slice(&v.to_le_bytes());
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        buf
+    }
+
+    fn parse_offset(err: IoError) -> u64 {
+        match err {
+            IoError::ParseBytes(off, _) => off,
+            other => panic!("expected ParseBytes, got {other:?}"),
+        }
+    }
 
     #[test]
     fn round_trips() {
@@ -91,22 +233,37 @@ mod tests {
             write_binary(&g, &mut buf).unwrap();
             let g2 = read_binary(buf.as_slice()).unwrap();
             assert_eq!(g, g2);
+            let g3 = read_binary_slice(&buf).unwrap();
+            assert_eq!(g, g3);
+            let g4 = read_binary_seek(std::io::Cursor::new(&buf)).unwrap();
+            assert_eq!(g, g4);
         }
     }
 
     #[test]
     fn rejects_bad_magic() {
         let buf = b"NOTAGRPH\x01\x00\x00\x00".to_vec();
-        assert!(read_binary(buf.as_slice()).is_err());
+        assert_eq!(parse_offset(read_binary(buf.as_slice()).unwrap_err()), 0);
     }
 
     #[test]
-    fn rejects_truncated_input() {
+    fn rejects_truncated_input_with_edge_ordinal() {
         let g = erdos_renyi(20, 50, 3);
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
+        let m = g.num_edges() as u64;
         buf.truncate(buf.len() - 3);
-        assert!(read_binary(buf.as_slice()).is_err());
+        // Streaming: dies inside the last edge record, naming it.
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert_eq!(parse_offset(err), HEADER_BYTES + (m - 1) * EDGE_BYTES);
+        let msg = read_binary(buf.as_slice()).unwrap_err().to_string();
+        assert!(msg.contains(&format!("edge #{}", m - 1)), "{msg}");
+        // Length-checked: rejected at the header, before any decoding.
+        assert_eq!(parse_offset(read_binary_slice(&buf).unwrap_err()), 20);
+        assert_eq!(
+            parse_offset(read_binary_seek(std::io::Cursor::new(&buf)).unwrap_err()),
+            20
+        );
     }
 
     #[test]
@@ -116,6 +273,64 @@ mod tests {
         buf.extend_from_slice(&99u32.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
-        assert!(read_binary(buf.as_slice()).is_err());
+        assert_eq!(parse_offset(read_binary(buf.as_slice()).unwrap_err()), 8);
+    }
+
+    #[test]
+    fn huge_edge_count_is_an_error_not_an_allocation() {
+        // m = u64::MAX with an empty payload: the streaming path must not
+        // reserve m × 16 bytes; the length-checked paths reject up front.
+        let buf = file(4, u64::MAX, &[]);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert_eq!(parse_offset(err), HEADER_BYTES);
+        assert_eq!(parse_offset(read_binary_slice(&buf).unwrap_err()), 20);
+        assert_eq!(
+            parse_offset(read_binary_seek(std::io::Cursor::new(&buf)).unwrap_err()),
+            20
+        );
+    }
+
+    #[test]
+    fn huge_vertex_count_is_rejected() {
+        let buf = file(MAX_VERTICES + 1, 0, &[]);
+        let err = read_binary_slice(&buf).unwrap_err();
+        assert_eq!(parse_offset(err), 12);
+    }
+
+    #[test]
+    fn edge_count_must_match_payload_exactly() {
+        // Three edges on disk, header claims two: trailing bytes are
+        // corruption, not slack.
+        let edges = [(0u32, 1u32, 1.0), (1, 2, 2.0), (0, 2, 3.0)];
+        let buf = file(3, 2, &edges);
+        assert_eq!(parse_offset(read_binary_slice(&buf).unwrap_err()), 20);
+        // Header claims four: too short.
+        let buf = file(3, 4, &edges);
+        assert_eq!(parse_offset(read_binary_slice(&buf).unwrap_err()), 20);
+    }
+
+    #[test]
+    fn rejects_out_of_range_endpoint_at_its_offset() {
+        let buf = file(3, 2, &[(0, 1, 1.0), (1, 7, 2.0)]);
+        let err = read_binary_slice(&buf).unwrap_err();
+        assert_eq!(parse_offset(err), HEADER_BYTES + EDGE_BYTES);
+        let msg = read_binary_slice(&buf).unwrap_err().to_string();
+        assert!(msg.contains("edge #1") && msg.contains("(1,7)"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_self_loops() {
+        let buf = file(3, 1, &[(2, 2, 1.0)]);
+        let msg = read_binary_slice(&buf).unwrap_err().to_string();
+        assert!(msg.contains("self-loop"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_non_finite_weights() {
+        for w in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let buf = file(3, 1, &[(0, 1, w)]);
+            let err = read_binary_slice(&buf).unwrap_err();
+            assert_eq!(parse_offset(err), HEADER_BYTES + 8, "weight {w}");
+        }
     }
 }

@@ -14,7 +14,7 @@ pub mod dimacs;
 pub mod metis;
 pub mod text;
 
-pub use binary::{read_binary, write_binary};
+pub use binary::{read_binary, read_binary_seek, read_binary_slice, write_binary};
 pub use dimacs::{read_dimacs, write_dimacs};
 pub use metis::{read_metis, write_metis};
 pub use text::{read_edge_list, write_edge_list};
@@ -24,8 +24,14 @@ pub use text::{read_edge_list, write_edge_list};
 pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// The input violates the format (line number, message).
+    /// A text input violates the format (line number, message).
     Parse(usize, String),
+    /// A binary input violates the format (byte offset, message). Binary
+    /// readers treat every violation — including a header whose claimed
+    /// sizes the payload cannot back — as a parse error rather than
+    /// trusting the input, so corrupt or adversarial files fail fast
+    /// instead of demanding absurd allocations.
+    ParseBytes(u64, String),
 }
 
 impl std::fmt::Display for IoError {
@@ -33,6 +39,7 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+            IoError::ParseBytes(off, msg) => write!(f, "parse error at byte offset {off}: {msg}"),
         }
     }
 }

@@ -1,0 +1,25 @@
+//! MSF-as-a-service: the certifier's path-max index behind a wire.
+//!
+//! This crate turns a certified minimum spanning forest into a query
+//! server. The pipeline is: load and validate a binary graph with the
+//! hardened reader ([`service::load_graph`]), build the MSF with the
+//! flat-memory LLP-Borůvka engine, build the shared
+//! [`llp_mst::index::PathMaxIndex`], certify the forest against that
+//! exact index, then answer `component` / `path_max` /
+//! `connected_under` queries in O(1) each over a hand-rolled TCP
+//! protocol ([`protocol`]).
+//!
+//! - [`protocol`] — length-prefixed frames and the query/response codec.
+//! - [`service`] — builds the certified index and answers queries.
+//! - [`server`] — blocking accept loop + worker pool, no external runtime.
+//! - [`loadgen`] — batch-size sweep, latency percentiles, and the
+//!   `llp-mst-serve-report/v1` JSON writer.
+//!
+//! The `llp-mst-serve` binary front-ends all of it: `gen`, `serve`,
+//! `loadgen`, `bench` (in-process end-to-end with verification), and
+//! `fuzz-ingest` (the corrupt-file rejection matrix).
+
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod service;

@@ -1,0 +1,285 @@
+//! Load generator: sweeps batch sizes against a running server and writes
+//! the `llp-mst-serve-report/v1` JSON (`BENCH_serve.json`).
+//!
+//! Per sweep point the generator fires a fixed number of random queries
+//! (a 25/50/25 mix of `component` / `path_max` / `connected_under`) in
+//! frames of the point's batch size over one connection, measuring each
+//! frame's round-trip. Reported per point: queries/sec and p50/p99
+//! *per-query* latency (frame round-trip ÷ batch). With a verifier the
+//! generator replays every response against a locally built
+//! [`MsfService`] — the same certified index the server answers from — so
+//! a passing run re-checks the server's classifications end to end.
+
+use crate::protocol::{
+    decode_responses, encode_queries, read_frame, write_frame, Query, Response, MAX_BATCH,
+    MAX_PAYLOAD,
+};
+use crate::service::MsfService;
+use llp_runtime::rng::SmallRng;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// One batch-size measurement.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Queries per frame.
+    pub batch: usize,
+    /// Total queries fired at this point.
+    pub queries: u64,
+    /// Wall-clock for the whole point, seconds.
+    pub elapsed_s: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Median per-query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Batch sizes to sweep.
+    pub batches: Vec<usize>,
+    /// Queries per sweep point.
+    pub queries_per_point: u64,
+    /// RNG seed for the query stream.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            batches: vec![1, 16, 256, 4096],
+            queries_per_point: 100_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Draws a random query over `n` vertices: 1/4 `component`, 1/2
+/// `path_max`, 1/4 `connected_under` (λ uniform in `[0, 1)`, the
+/// generators' weight range).
+fn random_query(rng: &mut SmallRng, n: u32) -> Query {
+    let u = rng.gen_range(0..n);
+    let v = rng.gen_range(0..n);
+    match rng.gen_range(0..4u32) {
+        0 => Query::Component(u),
+        1 | 2 => Query::PathMax(u, v),
+        _ => Query::ConnectedUnder(u, v, rng.gen::<f64>()),
+    }
+}
+
+/// Runs the sweep against `addr`. `verify` replays every response against
+/// a local service and fails on the first divergence.
+pub fn run_sweep(
+    addr: &str,
+    n: u32,
+    cfg: &LoadgenConfig,
+    verify: Option<&MsfService>,
+) -> Result<Vec<SweepPoint>, String> {
+    assert!(n > 0, "cannot generate queries over an empty graph");
+    let conn = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    conn.set_nodelay(true).ok();
+    let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(conn);
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut points = Vec::new();
+    let mut payload = Vec::new();
+    for &batch in &cfg.batches {
+        let batch = batch.clamp(1, MAX_BATCH);
+        let frames = cfg.queries_per_point.div_ceil(batch as u64).max(1);
+        let mut frame_us: Vec<f64> = Vec::with_capacity(frames as usize);
+        let mut fired = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..frames {
+            let queries: Vec<Query> = (0..batch).map(|_| random_query(&mut rng, n)).collect();
+            let t = Instant::now();
+            encode_queries(&queries, &mut payload);
+            write_frame(&mut writer, &payload).map_err(|e| format!("send: {e}"))?;
+            let reply = read_frame(&mut reader, MAX_PAYLOAD)
+                .map_err(|e| format!("recv: {e}"))?
+                .ok_or_else(|| "server closed the connection mid-sweep".to_string())?;
+            let responses =
+                decode_responses(&reply, &queries).map_err(|e| format!("decode: {e}"))?;
+            frame_us.push(t.elapsed().as_secs_f64() * 1e6);
+            fired += batch as u64;
+            if let Some(local) = verify {
+                check_against_local(local, &queries, &responses)?;
+            }
+        }
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        frame_us.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| -> f64 {
+            let idx = ((frame_us.len() as f64 - 1.0) * p).round() as usize;
+            frame_us[idx] / batch as f64
+        };
+        points.push(SweepPoint {
+            batch,
+            queries: fired,
+            elapsed_s,
+            qps: fired as f64 / elapsed_s,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+        });
+    }
+    Ok(points)
+}
+
+/// Replays `queries` against the local certified service and compares.
+fn check_against_local(
+    local: &MsfService,
+    queries: &[Query],
+    responses: &[Response],
+) -> Result<(), String> {
+    for (q, got) in queries.iter().zip(responses) {
+        let want = local.answer(q);
+        if *got != want {
+            return Err(format!(
+                "server diverges from the local certified index on {q:?}: \
+                 got {got:?}, want {want:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Everything the serve report records.
+pub struct ReportInputs<'a> {
+    /// Served graph: vertices.
+    pub n: usize,
+    /// Served graph: edges.
+    pub m: usize,
+    /// Trees in the certified forest.
+    pub num_trees: usize,
+    /// Build timings (MSF, index, certify), milliseconds.
+    pub build: crate::service::BuildTimings,
+    /// Pool threads used for the build.
+    pub threads: usize,
+    /// Server connection workers.
+    pub workers: usize,
+    /// Whether every response was verified against a local index.
+    pub verified: bool,
+    /// The sweep measurements.
+    pub sweep: &'a [SweepPoint],
+}
+
+/// Writes the `llp-mst-serve-report/v1` JSON (creating parent
+/// directories).
+///
+/// ```json
+/// {
+///   "schema": "llp-mst-serve-report/v1",
+///   "graph": {"n": 65536, "m": 1048576, "num_trees": 3},
+///   "build_ms": {"msf": 1.0, "index": 0.5, "certify": 0.8},
+///   "threads": 4, "workers": 2, "verified": true,
+///   "sweep": [
+///     {"batch": 1, "queries": 100000, "elapsed_s": 1.0,
+///      "qps": 100000.0, "p50_us": 9.0, "p99_us": 31.0}
+///   ]
+/// }
+/// ```
+pub fn write_report(path: &std::path::Path, inputs: &ReportInputs<'_>) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{\"schema\":\"llp-mst-serve-report/v1\",")?;
+    writeln!(
+        f,
+        "\"graph\":{{\"n\":{},\"m\":{},\"num_trees\":{}}},",
+        inputs.n, inputs.m, inputs.num_trees
+    )?;
+    writeln!(
+        f,
+        "\"build_ms\":{{\"msf\":{:.3},\"index\":{:.3},\"certify\":{:.3}}},",
+        inputs.build.msf_ms, inputs.build.index_ms, inputs.build.certify_ms
+    )?;
+    writeln!(
+        f,
+        "\"threads\":{},\"workers\":{},\"verified\":{},",
+        inputs.threads, inputs.workers, inputs.verified
+    )?;
+    writeln!(f, "\"sweep\":[")?;
+    for (i, p) in inputs.sweep.iter().enumerate() {
+        let sep = if i + 1 < inputs.sweep.len() { "," } else { "" };
+        writeln!(
+            f,
+            "{{\"batch\":{},\"queries\":{},\"elapsed_s\":{:.6},\"qps\":{:.1},\
+             \"p50_us\":{:.2},\"p99_us\":{:.2}}}{}",
+            p.batch, p.queries, p.elapsed_s, p.qps, p.p50_us, p.p99_us, sep
+        )?;
+    }
+    writeln!(f, "]}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_parseable_shape() {
+        let sweep = vec![SweepPoint {
+            batch: 16,
+            queries: 1000,
+            elapsed_s: 0.5,
+            qps: 2000.0,
+            p50_us: 8.0,
+            p99_us: 20.0,
+        }];
+        let dir = std::env::temp_dir().join("llp-serve-report-test");
+        let path = dir.join("BENCH_serve.json");
+        write_report(
+            &path,
+            &ReportInputs {
+                n: 10,
+                m: 20,
+                num_trees: 1,
+                build: Default::default(),
+                threads: 2,
+                workers: 2,
+                verified: true,
+                sweep: &sweep,
+            },
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"schema\":\"llp-mst-serve-report/v1\""));
+        assert!(text.contains("\"qps\":2000.0"));
+        // Balanced braces/brackets — the report is machine-readable.
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "{text}"
+        );
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn random_queries_cover_all_ops() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (mut c, mut p, mut t) = (0, 0, 0);
+        for _ in 0..1000 {
+            match random_query(&mut rng, 50) {
+                Query::Component(u) => {
+                    assert!(u < 50);
+                    c += 1;
+                }
+                Query::PathMax(u, v) => {
+                    assert!(u < 50 && v < 50);
+                    p += 1;
+                }
+                Query::ConnectedUnder(_, _, l) => {
+                    assert!((0.0..1.0).contains(&l));
+                    t += 1;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(c > 100 && p > 300 && t > 100, "{c}/{p}/{t}");
+    }
+}

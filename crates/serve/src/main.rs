@@ -1,0 +1,428 @@
+//! `llp-mst-serve` — the MSF query service front-end.
+//!
+//! ```text
+//! llp-mst-serve gen        --out g.bin [--kind rmat|er] [--scale 16] [--ef 16] [--seed 1]
+//! llp-mst-serve serve      --graph g.bin [--addr 127.0.0.1:0] [--threads T]
+//!                          [--workers W] [--port-file p.txt]
+//! llp-mst-serve loadgen    --addr HOST:PORT [--graph g.bin --verify] [--batches 1,16,256,4096]
+//!                          [--queries 100000] [--seed 42] [--report out.json] [--shutdown]
+//! llp-mst-serve bench      [--graph g.bin | --scale 16 --ef 16 --seed 1] [--threads T]
+//!                          [--workers W] [--queries N] [--batches ...]
+//!                          [--report BENCH_serve.json] [--min-qps 100000]
+//! llp-mst-serve fuzz-ingest
+//! ```
+//!
+//! `bench` is the one-shot certified pipeline: generate/load a graph,
+//! build + certify the MSF, serve it on an ephemeral loopback port, sweep
+//! batch sizes with every response verified against the local certified
+//! index, shut the server down, write the `llp-mst-serve-report/v1`
+//! JSON, and gate on `--min-qps`. `fuzz-ingest` runs the corrupt-file
+//! matrix against the hardened binary reader and fails if any corruption
+//! is accepted.
+
+use llp_graph::generators::{erdos_renyi, rmat, RmatParams};
+use llp_graph::io::{read_binary_slice, write_binary, IoError};
+use llp_graph::CsrGraph;
+use llp_runtime::ThreadPool;
+use llp_serve::loadgen::{run_sweep, write_report, LoadgenConfig, ReportInputs, SweepPoint};
+use llp_serve::protocol::{decode_responses, encode_queries, read_frame, write_frame, Query, Response, MAX_PAYLOAD};
+use llp_serve::server::run_server;
+use llp_serve::service::{load_graph, BuildTimings, MsfService};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    args.remove(0);
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&mut args),
+        "serve" => cmd_serve(&mut args),
+        "loadgen" => cmd_loadgen(&mut args),
+        "bench" => cmd_bench(&mut args),
+        "fuzz-ingest" => cmd_fuzz_ingest(&mut args),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("llp-mst-serve {cmd}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: llp-mst-serve <gen|serve|loadgen|bench|fuzz-ingest> [options]
+run `llp-mst-serve <command>` with no options for that command's defaults";
+
+/// Removes `--name value` from `args`, if present.
+fn take_opt(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{name} needs a value"));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(v))
+}
+
+/// Removes the bare flag `--name` from `args`; true if it was present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return false;
+    };
+    args.remove(i);
+    true
+}
+
+fn parse<T: std::str::FromStr>(name: &str, v: Option<String>, default: T) -> Result<T, String> {
+    match v {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad value for {name}: {s}")),
+    }
+}
+
+/// Errors on leftover (unrecognized) arguments.
+fn no_leftovers(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unrecognized arguments: {}", args.join(" ")))
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builds the graph named by `--graph`, or generates one from
+/// `--kind/--scale/--ef/--seed`.
+fn graph_from_args(args: &mut Vec<String>) -> Result<CsrGraph, String> {
+    if let Some(path) = take_opt(args, "--graph")? {
+        return load_graph(&PathBuf::from(&path)).map_err(|e| format!("{path}: {e}"));
+    }
+    let kind = take_opt(args, "--kind")?.unwrap_or_else(|| "rmat".into());
+    let scale: u32 = parse("--scale", take_opt(args, "--scale")?, 16)?;
+    let ef: usize = parse("--ef", take_opt(args, "--ef")?, 16)?;
+    let seed: u64 = parse("--seed", take_opt(args, "--seed")?, 1)?;
+    match kind.as_str() {
+        "rmat" => Ok(rmat(RmatParams::graph500(scale, ef, seed))),
+        "er" => {
+            let n = 1usize << scale;
+            Ok(erdos_renyi(n, n * ef, seed))
+        }
+        other => Err(format!("unknown --kind `{other}` (want rmat or er)")),
+    }
+}
+
+fn cmd_gen(args: &mut Vec<String>) -> Result<(), String> {
+    let out = take_opt(args, "--out")?.ok_or("--out is required")?;
+    let graph = graph_from_args(args)?;
+    no_leftovers(args)?;
+    let file = std::fs::File::create(&out).map_err(|e| format!("{out}: {e}"))?;
+    write_binary(&graph, std::io::BufWriter::new(file)).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {} (n={}, m={})",
+        out,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &mut Vec<String>) -> Result<(), String> {
+    let graph_path = take_opt(args, "--graph")?.ok_or("--graph is required")?;
+    let addr = take_opt(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:0".into());
+    let threads: usize = parse("--threads", take_opt(args, "--threads")?, default_threads())?;
+    let workers: usize = parse("--workers", take_opt(args, "--workers")?, 2)?;
+    let port_file = take_opt(args, "--port-file")?;
+    no_leftovers(args)?;
+
+    let graph = load_graph(&PathBuf::from(&graph_path)).map_err(|e| format!("{graph_path}: {e}"))?;
+    let pool = ThreadPool::new(threads);
+    let service =
+        Arc::new(MsfService::build(&graph, &pool).map_err(|e| format!("certification failed: {e}"))?);
+    drop(pool);
+    print_build(&service);
+
+    let listener = TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {local}");
+    if let Some(pf) = port_file {
+        std::fs::write(&pf, format!("{}\n", local.port())).map_err(|e| format!("{pf}: {e}"))?;
+    }
+    let accepted = run_server(listener, service, workers).map_err(|e| e.to_string())?;
+    println!("shut down after {accepted} connections");
+    Ok(())
+}
+
+fn print_build(service: &MsfService) {
+    println!(
+        "certified MSF: n={} m={} trees={} weight={:.6}",
+        service.n, service.m, service.num_trees, service.total_weight
+    );
+    println!(
+        "build: msf {:.1} ms, index {:.1} ms, certify {:.1} ms",
+        service.timings.msf_ms, service.timings.index_ms, service.timings.certify_ms
+    );
+}
+
+/// One short-lived connection: sends `batch`, returns the responses.
+fn one_shot(addr: &str, batch: &[Query]) -> Result<Vec<Response>, String> {
+    let conn = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    conn.set_nodelay(true).ok();
+    let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = std::io::BufWriter::new(conn);
+    let mut payload = Vec::new();
+    encode_queries(batch, &mut payload);
+    write_frame(&mut writer, &payload).map_err(|e| e.to_string())?;
+    let reply = read_frame(&mut reader, MAX_PAYLOAD)
+        .map_err(|e| e.to_string())?
+        .ok_or("server closed the connection")?;
+    decode_responses(&reply, batch).map_err(|e| e.to_string())
+}
+
+/// Asks the server for its graph summary.
+fn query_info(addr: &str) -> Result<(u32, u32, f64), String> {
+    match one_shot(addr, &[Query::Info])?.as_slice() {
+        [Response::Info {
+            n,
+            trees,
+            total_weight,
+        }] => Ok((*n, *trees, *total_weight)),
+        other => Err(format!("unexpected info response: {other:?}")),
+    }
+}
+
+fn loadgen_config(args: &mut Vec<String>) -> Result<LoadgenConfig, String> {
+    let mut cfg = LoadgenConfig::default();
+    if let Some(list) = take_opt(args, "--batches")? {
+        cfg.batches = list
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("bad --batches list: {list}"))?;
+        if cfg.batches.is_empty() {
+            return Err("--batches must name at least one batch size".into());
+        }
+    }
+    cfg.queries_per_point = parse("--queries", take_opt(args, "--queries")?, cfg.queries_per_point)?;
+    cfg.seed = parse("--seed", take_opt(args, "--seed")?, cfg.seed)?;
+    Ok(cfg)
+}
+
+fn print_sweep(sweep: &[SweepPoint]) {
+    println!("batch      queries        qps    p50_us    p99_us");
+    for p in sweep {
+        println!(
+            "{:>5} {:>12} {:>10.0} {:>9.2} {:>9.2}",
+            p.batch, p.queries, p.qps, p.p50_us, p.p99_us
+        );
+    }
+}
+
+fn cmd_loadgen(args: &mut Vec<String>) -> Result<(), String> {
+    let addr = take_opt(args, "--addr")?.ok_or("--addr is required")?;
+    let graph_path = take_opt(args, "--graph")?;
+    let verify = take_flag(args, "--verify");
+    let shutdown = take_flag(args, "--shutdown");
+    let report = take_opt(args, "--report")?;
+    let threads: usize = parse("--threads", take_opt(args, "--threads")?, default_threads())?;
+    let cfg = loadgen_config(args)?;
+    no_leftovers(args)?;
+
+    let (n, trees, weight) = query_info(&addr)?;
+    println!("server reports n={n} trees={trees} weight={weight:.6}");
+
+    let local = match (&graph_path, verify) {
+        (Some(path), _) => {
+            let graph = load_graph(&PathBuf::from(path)).map_err(|e| format!("{path}: {e}"))?;
+            let pool = ThreadPool::new(threads);
+            let svc = MsfService::build(&graph, &pool)
+                .map_err(|e| format!("local certification failed: {e}"))?;
+            if svc.n as u32 != n {
+                return Err(format!(
+                    "--graph has n={}, but the server serves n={n}; wrong file?",
+                    svc.n
+                ));
+            }
+            Some(svc)
+        }
+        (None, true) => return Err("--verify needs --graph to build the local index".into()),
+        (None, false) => None,
+    };
+
+    let sweep = run_sweep(&addr, n, &cfg, if verify { local.as_ref() } else { None })?;
+    print_sweep(&sweep);
+    if verify {
+        println!("verified: every response matched the local certified index");
+    }
+
+    if let Some(path) = report {
+        let inputs = ReportInputs {
+            n: n as usize,
+            m: local.as_ref().map_or(0, |s| s.m),
+            num_trees: trees as usize,
+            build: local.as_ref().map_or(BuildTimings::default(), |s| s.timings),
+            threads,
+            workers: 0, // remote server; its worker count is not visible
+            verified: verify,
+            sweep: &sweep,
+        };
+        write_report(&PathBuf::from(&path), &inputs).map_err(|e| format!("{path}: {e}"))?;
+        println!("report: {path}");
+    }
+    if shutdown {
+        one_shot(&addr, &[Query::Shutdown])?;
+        println!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &mut Vec<String>) -> Result<(), String> {
+    let threads: usize = parse("--threads", take_opt(args, "--threads")?, default_threads())?;
+    let workers: usize = parse("--workers", take_opt(args, "--workers")?, 2)?;
+    let min_qps: f64 = parse("--min-qps", take_opt(args, "--min-qps")?, 100_000.0)?;
+    let report = take_opt(args, "--report")?.unwrap_or_else(|| "BENCH_serve.json".into());
+    let no_verify = take_flag(args, "--no-verify");
+    let cfg = loadgen_config(args)?;
+    let graph = graph_from_args(args)?;
+    no_leftovers(args)?;
+
+    let pool = ThreadPool::new(threads);
+    let service = Arc::new(
+        MsfService::build(&graph, &pool).map_err(|e| format!("certification failed: {e}"))?,
+    );
+    drop(pool);
+    print_build(&service);
+
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?.to_string();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || run_server(listener, service, workers))
+    };
+
+    let n = service.n as u32;
+    let verify = (!no_verify).then_some(service.as_ref());
+    let sweep = run_sweep(&addr, n, &cfg, verify);
+    // Always stop the server, even when the sweep failed.
+    let _ = one_shot(&addr, &[Query::Shutdown]);
+    server
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+    let sweep = sweep?;
+    print_sweep(&sweep);
+    if verify.is_some() {
+        println!("verified: every response matched the local certified index");
+    }
+
+    let inputs = ReportInputs {
+        n: service.n,
+        m: service.m,
+        num_trees: service.num_trees,
+        build: service.timings,
+        threads,
+        workers,
+        verified: verify.is_some(),
+        sweep: &sweep,
+    };
+    write_report(&PathBuf::from(&report), &inputs).map_err(|e| format!("{report}: {e}"))?;
+    println!("report: {report}");
+
+    let best = sweep.iter().map(|p| p.qps).fold(0.0f64, f64::max);
+    if best < min_qps {
+        return Err(format!(
+            "best throughput {best:.0} q/s is below the --min-qps gate of {min_qps:.0}"
+        ));
+    }
+    println!("gate: best {best:.0} q/s >= {min_qps:.0} q/s");
+    Ok(())
+}
+
+/// The corrupt-file matrix: every mutation of a valid binary graph file
+/// must be rejected by the hardened reader — with a `ParseBytes` error
+/// (never a panic, never a giant allocation) for format violations.
+fn cmd_fuzz_ingest(args: &mut [String]) -> Result<(), String> {
+    no_leftovers(args)?;
+    let graph = erdos_renyi(64, 128, 7);
+    let mut pristine = Vec::new();
+    write_binary(&graph, &mut pristine).map_err(|e| e.to_string())?;
+    read_binary_slice(&pristine).map_err(|e| format!("pristine bytes must parse: {e}"))?;
+    println!(
+        "pristine: ok (n={}, m={}, {} bytes)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        pristine.len()
+    );
+
+    type Mutation = (&'static str, Box<dyn Fn(&mut Vec<u8>)>);
+    let n_bytes = (graph.num_vertices() as u32).to_le_bytes();
+    let cases: Vec<Mutation> = vec![
+        ("truncated-header", Box::new(|b| b.truncate(10))),
+        ("bad-magic", Box::new(|b| b[0] ^= 0xff)),
+        ("bad-version", Box::new(|b| b[8..12].copy_from_slice(&999u32.to_le_bytes()))),
+        ("giant-n", Box::new(|b| b[12..20].copy_from_slice(&u64::MAX.to_le_bytes()))),
+        ("giant-m", Box::new(|b| b[20..28].copy_from_slice(&u64::MAX.to_le_bytes()))),
+        (
+            "m-overclaims-payload",
+            Box::new(|b| {
+                let m = u64::from_le_bytes(b[20..28].try_into().unwrap());
+                b[20..28].copy_from_slice(&(m + 1).to_le_bytes());
+            }),
+        ),
+        (
+            "m-underclaims-payload",
+            Box::new(|b| {
+                let m = u64::from_le_bytes(b[20..28].try_into().unwrap());
+                b[20..28].copy_from_slice(&(m - 1).to_le_bytes());
+            }),
+        ),
+        ("truncated-edge", Box::new(|b| b.truncate(b.len() - 3))),
+        (
+            "self-loop",
+            Box::new(|b| {
+                let u: [u8; 4] = b[28..32].try_into().unwrap();
+                b[32..36].copy_from_slice(&u);
+            }),
+        ),
+        (
+            "endpoint-out-of-range",
+            Box::new(move |b| b[28..32].copy_from_slice(&n_bytes)),
+        ),
+        ("nan-weight", Box::new(|b| b[36..44].copy_from_slice(&f64::NAN.to_le_bytes()))),
+        ("inf-weight", Box::new(|b| b[36..44].copy_from_slice(&f64::INFINITY.to_le_bytes()))),
+    ];
+
+    let mut failures = 0;
+    for (name, mutate) in &cases {
+        let mut bytes = pristine.clone();
+        mutate(&mut bytes);
+        match read_binary_slice(&bytes) {
+            Err(e @ IoError::ParseBytes(..)) => println!("{name}: rejected ({e})"),
+            Err(e) => println!("{name}: rejected with unexpected error kind ({e})"),
+            Ok(g) => {
+                println!(
+                    "{name}: ACCEPTED a corrupt file (n={}, m={})",
+                    g.num_vertices(),
+                    g.num_edges()
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} corruptions were accepted"));
+    }
+    println!("fuzz-ingest: all {} corruptions rejected", cases.len());
+    Ok(())
+}

@@ -1,0 +1,358 @@
+//! Wire protocol: length-prefixed batches of fixed-size query records.
+//!
+//! Everything is little-endian, mirroring the binary graph format. A
+//! *frame* is a `u32` payload length followed by the payload; a payload is
+//! a `u32` record count followed by that many 17-byte records. Requests
+//! and responses use the same record shape (`tag: u8, a: u32, b: u32,
+//! w: f64`), so one codec serves both directions:
+//!
+//! ```text
+//! frame    := len: u32, payload[len]
+//! payload  := count: u32, record × count
+//! record   := tag: u8, a: u32, b: u32, w: f64     (17 bytes)
+//! ```
+//!
+//! Request records (`tag` = opcode):
+//!
+//! | op | meaning | fields |
+//! |---|---|---|
+//! | 0 | `component(a)` | `a` = vertex |
+//! | 1 | `path_max(a, b)` | bottleneck edge between `a` and `b` |
+//! | 2 | `connected_under(a, b, w)` | single-linkage threshold `w` |
+//! | 3 | `info` | graph/forest summary |
+//! | 4 | `shutdown` | stop the server after acknowledging |
+//!
+//! Response records (`tag` = status): `1` = answer in `a`/`b`/`w`
+//! (component id in `a`; bottleneck edge as `a`=lo, `b`=hi, `w`=weight;
+//! connected-under true; info as `a`=n, `b`=trees, `w`=total weight),
+//! `0` = negative answer (different trees / not connected under λ), `2` =
+//! invalid query (vertex id out of range).
+//!
+//! The decoder never trusts the peer: frames are capped at
+//! [`MAX_BATCH`] records, the length prefix must agree with the record
+//! count exactly, and unknown opcodes are rejected — the same hardened
+//! posture as `llp_graph::io::binary`.
+
+use std::io::{Read, Write};
+
+/// Maximum records per frame; bounds per-connection memory at ~1.1 MiB.
+pub const MAX_BATCH: usize = 1 << 16;
+/// Bytes per record.
+pub const RECORD_BYTES: usize = 17;
+/// Largest legal payload (count word + a full batch of records).
+pub const MAX_PAYLOAD: usize = 4 + MAX_BATCH * RECORD_BYTES;
+
+/// A client request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Which tree of the forest does this vertex belong to?
+    Component(u32),
+    /// The bottleneck (maximum-key) edge on the tree path between two
+    /// vertices.
+    PathMax(u32, u32),
+    /// Are the two vertices connected using only edges of weight ≤ λ?
+    ConnectedUnder(u32, u32, f64),
+    /// Graph/forest summary (n, number of trees, total MSF weight).
+    Info,
+    /// Acknowledge, then stop the server.
+    Shutdown,
+}
+
+/// A server answer, in request order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Response {
+    /// `component`: the dense tree id.
+    Component(u32),
+    /// `path_max`: the bottleneck edge `(lo, hi, weight)`, or `None`
+    /// across trees (and for `u == v`).
+    PathMax(Option<(u32, u32, f64)>),
+    /// `connected_under`: the verdict.
+    ConnectedUnder(bool),
+    /// `info`: vertices, trees, total MSF weight.
+    Info {
+        /// Vertex count of the served graph.
+        n: u32,
+        /// Number of trees in the certified forest.
+        trees: u32,
+        /// Total weight of the certified forest.
+        total_weight: f64,
+    },
+    /// `shutdown` acknowledged.
+    ShuttingDown,
+    /// The query named a vertex the graph does not have.
+    Invalid,
+}
+
+/// A malformed frame or record.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn push_record(out: &mut Vec<u8>, tag: u8, a: u32, b: u32, w: f64) {
+    out.push(tag);
+    out.extend_from_slice(&a.to_le_bytes());
+    out.extend_from_slice(&b.to_le_bytes());
+    out.extend_from_slice(&w.to_le_bytes());
+}
+
+fn split_record(rec: &[u8]) -> (u8, u32, u32, f64) {
+    (
+        rec[0],
+        u32::from_le_bytes(rec[1..5].try_into().unwrap()),
+        u32::from_le_bytes(rec[5..9].try_into().unwrap()),
+        f64::from_le_bytes(rec[9..17].try_into().unwrap()),
+    )
+}
+
+/// Serializes a batch of queries into a payload (no length prefix).
+pub fn encode_queries(batch: &[Query], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for q in batch {
+        match *q {
+            Query::Component(u) => push_record(out, 0, u, 0, 0.0),
+            Query::PathMax(u, v) => push_record(out, 1, u, v, 0.0),
+            Query::ConnectedUnder(u, v, l) => push_record(out, 2, u, v, l),
+            Query::Info => push_record(out, 3, 0, 0, 0.0),
+            Query::Shutdown => push_record(out, 4, 0, 0, 0.0),
+        }
+    }
+}
+
+/// Parses a request payload. Rejects length/count mismatches, oversized
+/// batches and unknown opcodes.
+pub fn decode_queries(payload: &[u8]) -> Result<Vec<Query>, ProtoError> {
+    let records = check_counts(payload)?;
+    records
+        .chunks_exact(RECORD_BYTES)
+        .enumerate()
+        .map(|(i, rec)| {
+            let (op, a, b, w) = split_record(rec);
+            match op {
+                0 => Ok(Query::Component(a)),
+                1 => Ok(Query::PathMax(a, b)),
+                2 => Ok(Query::ConnectedUnder(a, b, w)),
+                3 => Ok(Query::Info),
+                4 => Ok(Query::Shutdown),
+                other => Err(ProtoError(format!("record #{i}: unknown opcode {other}"))),
+            }
+        })
+        .collect()
+}
+
+/// Serializes a batch of responses into a payload (no length prefix).
+pub fn encode_responses(batch: &[Response], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for r in batch {
+        match *r {
+            Response::Component(c) => push_record(out, 1, c, 0, 0.0),
+            Response::PathMax(Some((lo, hi, w))) => push_record(out, 1, lo, hi, w),
+            Response::PathMax(None) => push_record(out, 0, 0, 0, 0.0),
+            Response::ConnectedUnder(yes) => push_record(out, u8::from(yes), 0, 0, 0.0),
+            Response::Info {
+                n,
+                trees,
+                total_weight,
+            } => push_record(out, 1, n, trees, total_weight),
+            Response::ShuttingDown => push_record(out, 1, 0, 0, 0.0),
+            Response::Invalid => push_record(out, 2, 0, 0, 0.0),
+        }
+    }
+}
+
+/// Parses a response payload. Response records are positional — their
+/// meaning depends on the query that prompted them — so the caller
+/// supplies the queries it sent.
+pub fn decode_responses(payload: &[u8], sent: &[Query]) -> Result<Vec<Response>, ProtoError> {
+    let records = check_counts(payload)?;
+    let count = records.len() / RECORD_BYTES;
+    if count != sent.len() {
+        return Err(ProtoError(format!(
+            "{count} responses to {} queries",
+            sent.len()
+        )));
+    }
+    records
+        .chunks_exact(RECORD_BYTES)
+        .zip(sent)
+        .enumerate()
+        .map(|(i, (rec, q))| {
+            let (tag, a, b, w) = split_record(rec);
+            if tag == 2 {
+                return Ok(Response::Invalid);
+            }
+            if tag > 2 {
+                return Err(ProtoError(format!("record #{i}: unknown status {tag}")));
+            }
+            let yes = tag == 1;
+            Ok(match *q {
+                Query::Component(_) => Response::Component(a),
+                Query::PathMax(..) => {
+                    Response::PathMax(if yes { Some((a, b, w)) } else { None })
+                }
+                Query::ConnectedUnder(..) => Response::ConnectedUnder(yes),
+                Query::Info => Response::Info {
+                    n: a,
+                    trees: b,
+                    total_weight: w,
+                },
+                Query::Shutdown => Response::ShuttingDown,
+            })
+        })
+        .collect()
+}
+
+/// Shared payload validation: count word present, count within
+/// [`MAX_BATCH`], byte length exactly `4 + 17·count`. Returns the record
+/// bytes.
+fn check_counts(payload: &[u8]) -> Result<&[u8], ProtoError> {
+    if payload.len() < 4 {
+        return Err(ProtoError(format!(
+            "payload of {} bytes cannot hold a record count",
+            payload.len()
+        )));
+    }
+    let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+    if count > MAX_BATCH {
+        return Err(ProtoError(format!(
+            "batch of {count} records exceeds the {MAX_BATCH}-record cap"
+        )));
+    }
+    let records = &payload[4..];
+    if records.len() != count * RECORD_BYTES {
+        return Err(ProtoError(format!(
+            "count {count} disagrees with payload length ({} record bytes, \
+             expected {})",
+            records.len(),
+            count * RECORD_BYTES
+        )));
+    }
+    Ok(records)
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. `Ok(None)` on clean EOF at a frame
+/// boundary; errors on truncation mid-frame or a length prefix beyond
+/// `max_payload`.
+pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > max_payload {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_payload}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_round_trip() {
+        let batch = vec![
+            Query::Component(7),
+            Query::PathMax(1, 9),
+            Query::ConnectedUnder(3, 4, 0.25),
+            Query::Info,
+            Query::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        encode_queries(&batch, &mut buf);
+        assert_eq!(decode_queries(&buf).unwrap(), batch);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let sent = vec![
+            Query::Component(7),
+            Query::PathMax(1, 9),
+            Query::PathMax(1, 1),
+            Query::ConnectedUnder(3, 4, 0.25),
+            Query::Info,
+            Query::Component(99),
+        ];
+        let batch = vec![
+            Response::Component(3),
+            Response::PathMax(Some((1, 9, 0.5))),
+            Response::PathMax(None),
+            Response::ConnectedUnder(true),
+            Response::Info {
+                n: 100,
+                trees: 2,
+                total_weight: 41.5,
+            },
+            Response::Invalid,
+        ];
+        let mut buf = Vec::new();
+        encode_responses(&batch, &mut buf);
+        assert_eq!(decode_responses(&buf, &sent).unwrap(), batch);
+    }
+
+    #[test]
+    fn rejects_malformed_payloads() {
+        // Too short for a count.
+        assert!(decode_queries(&[1, 2]).is_err());
+        // Count disagrees with length.
+        let mut buf = Vec::new();
+        encode_queries(&[Query::Info], &mut buf);
+        buf.truncate(buf.len() - 1);
+        assert!(decode_queries(&buf).is_err());
+        // Oversized batch claim.
+        let mut huge = ((MAX_BATCH + 1) as u32).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0u8; RECORD_BYTES]);
+        assert!(decode_queries(&huge).is_err());
+        // Unknown opcode.
+        let mut bad = 1u32.to_le_bytes().to_vec();
+        bad.extend_from_slice(&[200u8; RECORD_BYTES]);
+        assert!(decode_queries(&bad).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_cap() {
+        let mut buf = Vec::new();
+        encode_queries(&[Query::Component(1)], &mut buf);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &buf).unwrap();
+        let mut cursor = wire.as_slice();
+        assert_eq!(read_frame(&mut cursor, MAX_PAYLOAD).unwrap().unwrap(), buf);
+        assert!(read_frame(&mut cursor, MAX_PAYLOAD).unwrap().is_none());
+
+        // A frame longer than the cap is refused before allocation.
+        let wire = (u32::MAX).to_le_bytes();
+        assert!(read_frame(&mut wire.as_slice(), MAX_PAYLOAD).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        encode_queries(&[Query::Info], &mut buf);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &buf).unwrap();
+        wire.truncate(wire.len() - 2);
+        assert!(read_frame(&mut wire.as_slice(), MAX_PAYLOAD).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! The answer engine: a certified MSF wrapped behind the wire queries.
+//!
+//! [`MsfService::build`] runs the flat-memory LLP-Borůvka engine over the
+//! loaded graph, builds the shared [`PathMaxIndex`], and certifies the
+//! forest *against that same index* ([`llp_mst::certify::certify_against`])
+//! — so every answer the service ever gives comes from a structure the
+//! certifier has already swept the whole graph through. Build phases are
+//! telemetry spans (`serve-load`, `serve-msf-build`, `serve-certify`,
+//! `serve-index-build`) and query traffic feeds the `serve-queries` /
+//! `serve-batches` counters, all visible in `llp-mst-run-report/v1`
+//! payloads when telemetry is recording.
+
+use crate::protocol::{Query, Response};
+use llp_graph::io::{read_binary_slice, IoError};
+use llp_graph::CsrGraph;
+use llp_mst::certify::certify_against;
+use llp_mst::index::PathMaxIndex;
+use llp_mst::llp_boruvka::llp_boruvka;
+use llp_mst::verify::VerifyError;
+use llp_runtime::{telemetry, ThreadPool};
+use std::time::Instant;
+
+/// Wall-clock cost of each build phase, for the serve report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildTimings {
+    /// MSF construction (flat-memory LLP-Borůvka).
+    pub msf_ms: f64,
+    /// [`PathMaxIndex`] construction.
+    pub index_ms: f64,
+    /// Full-graph certification sweep against the index.
+    pub certify_ms: f64,
+}
+
+/// A certified MSF and its query index, ready to answer traffic.
+pub struct MsfService {
+    /// Vertices of the served graph.
+    pub n: usize,
+    /// Undirected edges of the served graph.
+    pub m: usize,
+    /// Trees in the certified forest.
+    pub num_trees: usize,
+    /// Total weight of the certified forest.
+    pub total_weight: f64,
+    /// How long each build phase took.
+    pub timings: BuildTimings,
+    index: PathMaxIndex,
+}
+
+impl MsfService {
+    /// Builds the MSF with the flat-memory engine, indexes it, and
+    /// certifies the result against the index it will serve from.
+    pub fn build(graph: &CsrGraph, pool: &ThreadPool) -> Result<MsfService, VerifyError> {
+        let n = graph.num_vertices();
+        let mut timings = BuildTimings::default();
+
+        let t = Instant::now();
+        let msf = {
+            let _s = telemetry::span("serve-msf-build");
+            llp_boruvka(graph, pool)
+        };
+        timings.msf_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let index = {
+            let _s = telemetry::span("serve-index-build");
+            PathMaxIndex::build_par(n, &msf, pool)?
+        };
+        timings.index_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        {
+            let _s = telemetry::span("serve-certify");
+            certify_against(graph, &msf, &index, Some(pool))?;
+        }
+        timings.certify_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        Ok(MsfService {
+            n,
+            m: graph.num_edges(),
+            num_trees: index.num_components(),
+            total_weight: msf.total_weight,
+            timings,
+            index,
+        })
+    }
+
+    /// The shared index, for callers that want direct (non-wire) queries.
+    pub fn index(&self) -> &PathMaxIndex {
+        &self.index
+    }
+
+    /// Answers one query. Out-of-range vertex ids get
+    /// [`Response::Invalid`] rather than a panic — the wire is untrusted.
+    pub fn answer(&self, q: &Query) -> Response {
+        let ok = |u: u32| (u as usize) < self.n;
+        match *q {
+            Query::Component(u) if ok(u) => Response::Component(self.index.component(u)),
+            Query::PathMax(u, v) if ok(u) && ok(v) => Response::PathMax(
+                self.index
+                    .path_max(u, v)
+                    .map(|k| (k.lo(), k.hi(), k.weight())),
+            ),
+            Query::ConnectedUnder(u, v, l) if ok(u) && ok(v) => {
+                Response::ConnectedUnder(self.index.connected_under(u, v, l))
+            }
+            Query::Info => Response::Info {
+                n: self.n as u32,
+                trees: self.num_trees as u32,
+                total_weight: self.total_weight,
+            },
+            Query::Shutdown => Response::ShuttingDown,
+            _ => Response::Invalid,
+        }
+    }
+
+    /// Answers a batch in order, feeding the serve counters.
+    pub fn answer_batch(&self, batch: &[Query]) -> Vec<Response> {
+        telemetry::counter_add("serve-batches", 1);
+        telemetry::counter_add("serve-queries", batch.len() as u64);
+        batch.iter().map(|q| self.answer(q)).collect()
+    }
+}
+
+/// Loads and validates a binary graph file with the hardened,
+/// length-checked reader (`serve-load` span).
+pub fn load_graph(path: &std::path::Path) -> Result<CsrGraph, IoError> {
+    let _s = telemetry::span("serve-load");
+    let bytes = std::fs::read(path)?;
+    read_binary_slice(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llp_mst::prelude::kruskal;
+
+    fn service() -> MsfService {
+        let g = llp_graph::generators::erdos_renyi(200, 380, 5);
+        let pool = ThreadPool::new(2);
+        MsfService::build(&g, &pool).unwrap()
+    }
+
+    #[test]
+    fn answers_agree_with_direct_index_queries() {
+        let g = llp_graph::generators::erdos_renyi(200, 380, 5);
+        let svc = service();
+        let msf = kruskal(&g);
+        assert_eq!(svc.num_trees, msf.num_trees);
+        assert!((svc.total_weight - msf.total_weight).abs() < 1e-9);
+        for (u, v) in [(0u32, 1u32), (5, 199), (17, 17), (3, 150)] {
+            assert_eq!(
+                svc.answer(&Query::PathMax(u, v)),
+                Response::PathMax(svc.index().path_max(u, v).map(|k| (k.lo(), k.hi(), k.weight())))
+            );
+            assert_eq!(
+                svc.answer(&Query::Component(u)),
+                Response::Component(svc.index().component(u))
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_are_invalid_not_panics() {
+        let svc = service();
+        assert_eq!(svc.answer(&Query::Component(10_000)), Response::Invalid);
+        assert_eq!(svc.answer(&Query::PathMax(0, 10_000)), Response::Invalid);
+        assert_eq!(
+            svc.answer(&Query::ConnectedUnder(10_000, 0, 1.0)),
+            Response::Invalid
+        );
+    }
+
+    #[test]
+    fn info_reports_the_forest() {
+        let svc = service();
+        match svc.answer(&Query::Info) {
+            Response::Info { n, trees, .. } => {
+                assert_eq!(n as usize, svc.n);
+                assert_eq!(trees as usize, svc.num_trees);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

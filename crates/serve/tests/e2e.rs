@@ -1,0 +1,181 @@
+//! End-to-end: a real loopback TCP server answering wire queries, checked
+//! against independently computed answers (Kruskal + union-find on the
+//! same graph), plus bad-frame and shutdown behavior.
+
+use llp_graph::generators::erdos_renyi;
+use llp_runtime::ThreadPool;
+use llp_serve::protocol::{
+    decode_responses, encode_queries, read_frame, write_frame, Query, Response, MAX_PAYLOAD,
+};
+use llp_serve::server::run_server;
+use llp_serve::service::MsfService;
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    payload: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let conn = TcpStream::connect(addr).unwrap();
+        Client {
+            reader: BufReader::new(conn.try_clone().unwrap()),
+            writer: conn,
+            payload: Vec::new(),
+        }
+    }
+
+    fn ask(&mut self, batch: &[Query]) -> Vec<Response> {
+        encode_queries(batch, &mut self.payload);
+        write_frame(&mut self.writer, &self.payload).unwrap();
+        let reply = read_frame(&mut self.reader, MAX_PAYLOAD).unwrap().unwrap();
+        decode_responses(&reply, batch).unwrap()
+    }
+}
+
+/// Starts a server over a 400-vertex random graph; returns the address,
+/// the service (for ground truth), and the server thread handle.
+fn start() -> (
+    String,
+    Arc<MsfService>,
+    std::thread::JoinHandle<std::io::Result<usize>>,
+) {
+    let graph = erdos_renyi(400, 700, 11);
+    let pool = ThreadPool::new(2);
+    let service = Arc::new(MsfService::build(&graph, &pool).unwrap());
+    drop(pool);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || run_server(listener, service, 2))
+    };
+    (addr, service, server)
+}
+
+fn shutdown(addr: &str) {
+    let mut c = Client::connect(addr);
+    assert_eq!(c.ask(&[Query::Shutdown]), vec![Response::ShuttingDown]);
+}
+
+#[test]
+fn serves_correct_answers_over_tcp() {
+    let (addr, service, server) = start();
+    let mut c = Client::connect(&addr);
+
+    // Info matches the certified build.
+    assert_eq!(
+        c.ask(&[Query::Info]),
+        vec![Response::Info {
+            n: service.n as u32,
+            trees: service.num_trees as u32,
+            total_weight: service.total_weight,
+        }]
+    );
+
+    // A mixed batch agrees with direct index queries — including
+    // same-vertex, cross-pair, and out-of-range records in one frame.
+    let batch = vec![
+        Query::Component(0),
+        Query::Component(399),
+        Query::PathMax(3, 250),
+        Query::PathMax(17, 17),
+        Query::ConnectedUnder(3, 250, 0.5),
+        Query::ConnectedUnder(3, 250, 1.0),
+        Query::PathMax(0, 4000),
+        Query::Component(4000),
+    ];
+    let got = c.ask(&batch);
+    let want: Vec<Response> = batch.iter().map(|q| service.answer(q)).collect();
+    assert_eq!(got, want);
+
+    // Sanity that the ground truth itself is non-degenerate: vertex 3 and
+    // 250 connect under λ=1 exactly when they share a tree.
+    assert_eq!(
+        want[5],
+        Response::ConnectedUnder(service.index().connected(3, 250))
+    );
+    // Out-of-range vertices answer `Invalid`, not `PathMax(None)`.
+    assert_eq!(want[6], Response::Invalid);
+    assert_eq!(want[7], Response::Invalid);
+
+    // Shutdown drains in-flight connections, so close ours first.
+    drop(c);
+    shutdown(&addr);
+    assert!(server.join().unwrap().unwrap() >= 2);
+}
+
+#[test]
+fn many_clients_share_the_workers() {
+    let (addr, service, server) = start();
+    // 4 concurrent clients against 2 workers: two are served immediately,
+    // two queue until a worker frees up. Each client closes when done, so
+    // the queue drains.
+    let handles: Vec<_> = (0..4u32)
+        .map(|i| {
+            let addr = addr.clone();
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr);
+                for round in 0..3u32 {
+                    let u = (round * 7 + i) % 400;
+                    let v = (round * 13 + 5 * i) % 400;
+                    let batch = vec![Query::PathMax(u, v), Query::Component(u)];
+                    let want: Vec<Response> = batch.iter().map(|q| service.answer(q)).collect();
+                    assert_eq!(c.ask(&batch), want);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    shutdown(&addr);
+    assert!(server.join().unwrap().unwrap() >= 5);
+}
+
+#[test]
+fn bad_frames_drop_the_connection_but_not_the_server() {
+    let (addr, _service, server) = start();
+
+    // Garbage length prefix far beyond the payload cap.
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    conn.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    conn.write_all(&[0xab; 64]).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    assert!(matches!(
+        read_frame(&mut reader, MAX_PAYLOAD),
+        Ok(None) | Err(_)
+    ));
+    drop(reader);
+    drop(conn);
+
+    // Valid frame, malformed payload (count disagrees with length).
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    let mut payload = Vec::new();
+    encode_queries(&[Query::Info, Query::Info], &mut payload);
+    payload.truncate(payload.len() - 1);
+    write_frame(&mut conn, &payload).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    assert!(matches!(
+        read_frame(&mut reader, MAX_PAYLOAD),
+        Ok(None) | Err(_)
+    ));
+    drop(reader);
+    drop(conn);
+
+    // The server is still alive and correct afterwards.
+    let mut c = Client::connect(&addr);
+    assert!(matches!(
+        c.ask(&[Query::Component(0)]).as_slice(),
+        [Response::Component(_)]
+    ));
+    drop(c);
+
+    shutdown(&addr);
+    assert!(server.join().unwrap().unwrap() >= 4);
+}
