@@ -1,0 +1,804 @@
+//! Fully dynamic MSF: batched edge insertions and deletions as epochs on
+//! the lattice.
+//!
+//! The paper's fixed-point framing (and Alves & Garg's common LLP
+//! framework) treats MSF construction as advancing a global state vector
+//! up a lattice until a predicate holds. Nothing in that framing requires
+//! starting from the bottom: a *batch of updates* re-enters the lattice
+//! from a warm start — the previous epoch's certified forest — and only
+//! the state the batch invalidates is recomputed. [`DynamicMsf`] realises
+//! that as an epoch loop over the machinery earlier PRs built:
+//!
+//! * **Insertions** resolve via the **cycle property against the
+//!   [`PathMaxIndex`]** — the certifier's query becomes the update rule.
+//!   An inserted edge `e = (u, v, w)` whose endpoints share a tree enters
+//!   the forest iff its key beats `path_max(u, v)`; when it wins it
+//!   *evicts* exactly that bottleneck edge (the classic exchange
+//!   argument, exact for a single insert per tree). Inserts that lose
+//!   stay in the graph as non-tree edges. Classification of the whole
+//!   batch is a parallel read-only sweep over the frozen epoch index
+//!   (chaos-instrumented chunk claims, like every other sweep in the
+//!   workspace).
+//! * **Deletions** (and every insert the fast path cannot decide exactly
+//!   — trees receiving several inserts, inserts linking two trees, trees
+//!   that lost a tree edge) fall back to a **scoped re-run of the
+//!   flat-memory contraction engine** over only the *dirty* components:
+//!   the same decompose-locally-then-recombine shape as Sanders &
+//!   Schimek's Borůvka-filter, but scoped by the previous epoch's
+//!   component map instead of by shard. Because edges never cross
+//!   component boundaries (cross-tree inserts dirty both trees), the MSF
+//!   of the dirty region unioned with the untouched trees is the MSF of
+//!   the whole graph — and because the dirty vertices are relabelled
+//!   *monotonically*, `EdgeKey` tie-breaks are preserved and the scoped
+//!   run returns exactly the canonical forest restriction.
+//! * **Certification**: every epoch snapshot is re-certified with the
+//!   oracle-free sweep ([`certify_against`]) against the freshly rebuilt
+//!   index, so a served epoch is never weaker than the from-scratch
+//!   pipeline. The lattice never retracts: a certified epoch is a fixed
+//!   point, and the next batch advances from it.
+//!
+//! Failure posture: inputs are validated (range, self-loops, non-finite
+//! weights) *before* any state is touched, so user errors are clean
+//! [`DynamicError`]s with the structure untouched. An error *after*
+//! mutation began ([`DynamicError::Overflow`] /
+//! [`DynamicError::Certify`]) indicates an internal invariant violation;
+//! the structure must then be discarded and rebuilt — it never serves an
+//! uncertified epoch.
+
+use crate::certify::certify_against;
+use crate::index::PathMaxIndex;
+use crate::llp_boruvka::llp_boruvka_from_edges;
+use crate::result::{ForestOverflow, MstResult};
+use crate::stats::AlgoStats;
+use crate::verify::VerifyError;
+use llp_graph::{CsrGraph, Edge, EdgeKey, VertexId};
+use llp_runtime::sync::Mutex;
+use llp_runtime::{parallel_for_chunks, telemetry, ParallelForConfig, ThreadPool};
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Below this many fresh inserts the classification sweep runs inline —
+/// the parallel fan-out costs more than the queries.
+const PAR_CLASSIFY_THRESHOLD: usize = 64;
+
+/// A rejected or failed dynamic update.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicError {
+    /// An update named a vertex outside `0..n`.
+    OutOfRange(Edge),
+    /// An inserted edge had both endpoints equal.
+    SelfLoop(Edge),
+    /// An inserted edge carried a NaN or infinite weight.
+    NonFiniteWeight(Edge),
+    /// The epoch assembled more tree edges than vertices — an internal
+    /// invariant violation (the batched exchange produced a non-forest).
+    Overflow(ForestOverflow),
+    /// The epoch snapshot failed certification — an internal invariant
+    /// violation; the structure must be rebuilt from scratch.
+    Certify(VerifyError),
+}
+
+impl std::fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicError::OutOfRange(e) => {
+                write!(f, "update ({}, {}) names a vertex out of range", e.u, e.v)
+            }
+            DynamicError::SelfLoop(e) => write!(f, "insert ({}, {}) is a self-loop", e.u, e.v),
+            DynamicError::NonFiniteWeight(e) => write!(
+                f,
+                "insert ({}, {}) carries non-finite weight {}",
+                e.u, e.v, e.w
+            ),
+            DynamicError::Overflow(o) => write!(f, "epoch produced a non-forest: {o}"),
+            DynamicError::Certify(e) => write!(f, "epoch snapshot failed certification: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+impl From<VerifyError> for DynamicError {
+    fn from(e: VerifyError) -> Self {
+        DynamicError::Certify(e)
+    }
+}
+
+/// What one [`DynamicMsf::apply_batch`] epoch did, with per-phase wall
+/// clock — the numbers the dynamic bench aggregates into
+/// `llp-mst-dynamic-report/v1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochReport {
+    /// Epoch number after this batch (starts at 0 for the initial build).
+    pub epoch: u64,
+    /// Fresh edges added to the graph.
+    pub inserts_applied: usize,
+    /// Inserts naming an edge already present (no-ops).
+    pub inserts_duplicate: usize,
+    /// Edges removed from the graph.
+    pub deletes_applied: usize,
+    /// Deletes naming an edge not present (no-ops).
+    pub deletes_missing: usize,
+    /// Inserts that entered the forest by evicting their bottleneck edge
+    /// (the cycle-property fast path).
+    pub fast_swaps: usize,
+    /// Inserts settled as non-tree edges by one path-max query.
+    pub fast_rejects: usize,
+    /// Inserts joining two previously separate trees (resolved in the
+    /// scoped re-run).
+    pub links: usize,
+    /// Trees of the previous epoch that went through the scoped re-run.
+    pub dirty_components: usize,
+    /// Vertices handed to the scoped contraction re-run.
+    pub rebuild_vertices: usize,
+    /// Edges handed to the scoped contraction re-run.
+    pub rebuild_edges: usize,
+    /// Whether the forest changed (and the index was rebuilt).
+    pub tree_changed: bool,
+    /// Classification sweep, milliseconds.
+    pub classify_ms: f64,
+    /// Scoped contraction re-run, milliseconds.
+    pub rebuild_ms: f64,
+    /// Index rebuild, milliseconds.
+    pub index_ms: f64,
+    /// Certification sweep, milliseconds.
+    pub certify_ms: f64,
+}
+
+impl EpochReport {
+    /// Updates this epoch actually consumed (applied + no-ops) — the
+    /// numerator of the bench's edges/sec.
+    pub fn updates(&self) -> usize {
+        self.inserts_applied + self.inserts_duplicate + self.deletes_applied + self.deletes_missing
+    }
+}
+
+/// How a fresh insert relates to the frozen epoch index.
+#[derive(Clone, Copy)]
+enum InsertClass {
+    /// Endpoints in different trees: the insert merges them (scoped
+    /// re-run decides the resulting forest).
+    Link { cu: u32, cv: u32 },
+    /// Endpoints share a tree: the cycle property decides, with the
+    /// bottleneck already in hand for the eviction.
+    Intra {
+        comp: u32,
+        beats: bool,
+        bottleneck: EdgeKey,
+    },
+}
+
+/// An epoch-based fully dynamic minimum spanning forest.
+///
+/// Owns the current graph (adjacency lists), the certified forest of the
+/// latest epoch, and its [`PathMaxIndex`]. [`DynamicMsf::apply_batch`]
+/// advances one epoch; queries go through [`DynamicMsf::index`], which is
+/// an `Arc` so a server can keep answering from a snapshot while the next
+/// epoch is being applied.
+pub struct DynamicMsf {
+    n: usize,
+    /// Undirected adjacency, both directions. The graph is simple:
+    /// parallel edges are deduplicated on construction (smallest key
+    /// wins) and duplicate inserts are no-ops.
+    adj: Vec<Vec<(VertexId, f64)>>,
+    /// Current undirected edge count.
+    m: usize,
+    /// The certified forest of the latest epoch.
+    msf: MstResult,
+    /// Path-max index over `msf`, shared with snapshot readers.
+    index: Arc<PathMaxIndex>,
+    /// Batches applied so far.
+    epoch: u64,
+    /// Whether each epoch ends with a full certification sweep
+    /// (default: yes — an epoch that is not certified is not published).
+    certify_epochs: bool,
+}
+
+impl DynamicMsf {
+    /// Builds the initial epoch from a CSR graph: flat-memory contraction
+    /// for the forest, [`PathMaxIndex`] for queries, certification sweep
+    /// before anything is served.
+    pub fn new(graph: &CsrGraph, pool: &ThreadPool) -> Result<DynamicMsf, DynamicError> {
+        Self::from_edges(graph.num_vertices(), graph.edges().collect(), pool)
+    }
+
+    /// Builds the initial epoch from a raw undirected edge list.
+    ///
+    /// Validates endpoints, self-loops and weight finiteness; parallel
+    /// edges are deduplicated keeping the smallest [`EdgeKey`] (the only
+    /// one the canonical MSF can ever use).
+    pub fn from_edges(
+        n: usize,
+        edges: Vec<Edge>,
+        pool: &ThreadPool,
+    ) -> Result<DynamicMsf, DynamicError> {
+        let _s = telemetry::span("dynamic-build");
+        let mut adj: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); n];
+        let mut m = 0usize;
+        let mut kept: Vec<Edge> = Vec::with_capacity(edges.len());
+        for e in edges {
+            validate_insert(&e, n)?;
+            let (lo, hi) = e.canonical_endpoints();
+            match adj[lo as usize].iter().position(|&(x, _)| x == hi) {
+                Some(i) => {
+                    // Parallel edge: keep the smaller key.
+                    let old = adj[lo as usize][i].1;
+                    if e.key() < EdgeKey::new(old, lo, hi) {
+                        adj[lo as usize][i].1 = e.w;
+                        let j = adj[hi as usize]
+                            .iter()
+                            .position(|&(x, _)| x == lo)
+                            .expect("mirror arc");
+                        adj[hi as usize][j].1 = e.w;
+                    }
+                }
+                None => {
+                    adj[lo as usize].push((hi, e.w));
+                    adj[hi as usize].push((lo, e.w));
+                    m += 1;
+                }
+            }
+        }
+        // Emit each undirected edge once, post-dedup.
+        for (u, list) in adj.iter().enumerate() {
+            for &(v, w) in list {
+                if (u as u32) < v {
+                    kept.push(Edge::new(u as u32, v, w));
+                }
+            }
+        }
+
+        let msf = llp_boruvka_from_edges(n, kept, pool);
+        let index = Arc::new(PathMaxIndex::build_par(n, &msf, pool)?);
+        let this = DynamicMsf {
+            n,
+            adj,
+            m,
+            msf,
+            index,
+            epoch: 0,
+            certify_epochs: true,
+        };
+        this.certify_now(pool)?;
+        Ok(this)
+    }
+
+    /// Vertices of the graph (fixed for the structure's lifetime).
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Current undirected edge count.
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Batches applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The certified forest of the latest epoch.
+    pub fn msf(&self) -> &MstResult {
+        &self.msf
+    }
+
+    /// The latest epoch's query index. Clone the `Arc` to keep serving a
+    /// snapshot while the next batch applies.
+    pub fn index(&self) -> &Arc<PathMaxIndex> {
+        &self.index
+    }
+
+    /// Disables (or re-enables) the per-epoch certification sweep. Only
+    /// meant for benchmarking the raw update pipeline; a production epoch
+    /// should always be certified before it is served.
+    pub fn set_certify_epochs(&mut self, certify: bool) {
+        self.certify_epochs = certify;
+    }
+
+    /// The current undirected edge set (each edge once, `u < v`).
+    pub fn current_edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.m);
+        for (u, list) in self.adj.iter().enumerate() {
+            for &(v, w) in list {
+                if (u as u32) < v {
+                    out.push(Edge::new(u as u32, v, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies one batch of updates and advances the epoch.
+    ///
+    /// Deletes are applied first (so a batch can delete an edge and
+    /// re-insert it at a new weight), then inserts. Inserts of edges
+    /// already present and deletes of absent edges are counted no-ops.
+    /// Returns the epoch's [`EpochReport`]; on `Err` for invalid *input*
+    /// (range / self-loop / non-finite) no state was touched.
+    pub fn apply_batch(
+        &mut self,
+        inserts: &[Edge],
+        deletes: &[(VertexId, VertexId)],
+        pool: &ThreadPool,
+    ) -> Result<EpochReport, DynamicError> {
+        let _s = telemetry::span("dynamic-epoch");
+        // Validate everything before touching anything.
+        for e in inserts {
+            validate_insert(e, self.n)?;
+        }
+        for &(u, v) in deletes {
+            if (u as usize) >= self.n || (v as usize) >= self.n {
+                return Err(DynamicError::OutOfRange(Edge::new(u, v, 0.0)));
+            }
+        }
+
+        let mut report = EpochReport {
+            epoch: self.epoch + 1,
+            ..EpochReport::default()
+        };
+        let num_components = self.index.num_components();
+        let mut dirty = vec![false; num_components];
+
+        // ---- Deletes: drop arcs; a lost *tree* edge dirties its tree.
+        let tree: HashSet<(u32, u32)> = self
+            .msf
+            .edges
+            .iter()
+            .map(Edge::canonical_endpoints)
+            .collect();
+        for &(u, v) in deletes {
+            let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+            if lo == hi || self.remove_edge(lo, hi).is_none() {
+                report.deletes_missing += 1;
+                continue;
+            }
+            report.deletes_applied += 1;
+            if tree.contains(&(lo, hi)) {
+                dirty[self.index.component(lo) as usize] = true;
+            }
+        }
+
+        // ---- Inserts, phase 1: mutate the graph, keeping the fresh ones.
+        let mut fresh: Vec<Edge> = Vec::with_capacity(inserts.len());
+        for e in inserts {
+            let (lo, hi) = e.canonical_endpoints();
+            if self.adj[lo as usize].iter().any(|&(x, _)| x == hi) {
+                report.inserts_duplicate += 1;
+                continue;
+            }
+            self.adj[lo as usize].push((hi, e.w));
+            self.adj[hi as usize].push((lo, e.w));
+            self.m += 1;
+            report.inserts_applied += 1;
+            fresh.push(Edge::new(lo, hi, e.w));
+        }
+
+        // ---- Inserts, phase 2: classify against the frozen epoch index.
+        // Read-only parallel sweep; chunk claims go through the chaos
+        // scheduler like every other sweep in the workspace.
+        let t = Instant::now();
+        let classes: Vec<InsertClass> = {
+            let _s = telemetry::span("dynamic-classify");
+            let index = &*self.index;
+            if fresh.len() < PAR_CLASSIFY_THRESHOLD || pool.threads() <= 1 {
+                fresh.iter().map(|e| classify_one(e, index)).collect()
+            } else {
+                let acc: Mutex<Vec<(usize, Vec<InsertClass>)>> = Mutex::new(Vec::new());
+                parallel_for_chunks(
+                    pool,
+                    0..fresh.len(),
+                    ParallelForConfig::default(),
+                    |chunk| {
+                        let start = chunk.start;
+                        let local: Vec<InsertClass> =
+                            chunk.map(|i| classify_one(&fresh[i], index)).collect();
+                        acc.lock().push((start, local));
+                    },
+                );
+                let mut out: Vec<Option<InsertClass>> = vec![None; fresh.len()];
+                for (start, local) in acc.into_inner() {
+                    for (i, c) in local.into_iter().enumerate() {
+                        out[start + i] = Some(c);
+                    }
+                }
+                out.into_iter()
+                    .map(|c| c.expect("classified every fresh insert"))
+                    .collect()
+            }
+        };
+        report.classify_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // ---- Inserts, phase 3: group. Cross-tree links and trees with
+        // more than one intra-tree insert go to the scoped re-run;
+        // single-insert clean trees take the exact exchange fast path.
+        for c in &classes {
+            if let InsertClass::Link { cu, cv } = *c {
+                dirty[cu as usize] = true;
+                dirty[cv as usize] = true;
+                report.links += 1;
+            }
+        }
+        let mut per_comp: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, c) in classes.iter().enumerate() {
+            if let InsertClass::Intra { comp, .. } = *c {
+                per_comp.entry(comp).or_default().push(i);
+            }
+        }
+        let mut winners: Vec<Edge> = Vec::new();
+        let mut evicted: HashSet<(u32, u32)> = HashSet::new();
+        for (&comp, idxs) in &per_comp {
+            if dirty[comp as usize] {
+                continue; // the re-run sees these edges in the graph
+            }
+            if idxs.len() > 1 {
+                // Two inserts into one tree interact (the second exchange
+                // depends on the first); defer both to the re-run.
+                dirty[comp as usize] = true;
+                continue;
+            }
+            let InsertClass::Intra {
+                beats, bottleneck, ..
+            } = classes[idxs[0]]
+            else {
+                unreachable!("per_comp holds only Intra classes");
+            };
+            if beats {
+                evicted.insert((bottleneck.lo(), bottleneck.hi()));
+                winners.push(fresh[idxs[0]]);
+                report.fast_swaps += 1;
+            } else {
+                report.fast_rejects += 1;
+            }
+        }
+
+        // ---- Scoped re-run over the dirty trees.
+        let t = Instant::now();
+        let dirty_any = dirty.iter().any(|&d| d);
+        report.dirty_components = dirty.iter().filter(|&&d| d).count();
+        let mut rebuilt: Vec<Edge> = Vec::new();
+        if dirty_any {
+            let _s = telemetry::span("dynamic-rebuild");
+            // Ascending scan ⇒ the old→local relabel is monotone, so
+            // every EdgeKey comparison (weight, then endpoints) orders
+            // local edges exactly as the original ids would — the scoped
+            // run returns the canonical forest restriction verbatim.
+            let mut local_of: Vec<u32> = vec![u32::MAX; self.n];
+            let mut verts: Vec<u32> = Vec::new();
+            for v in 0..self.n {
+                if dirty[self.index.component(v as u32) as usize] {
+                    local_of[v] = verts.len() as u32;
+                    verts.push(v as u32);
+                }
+            }
+            let mut local_edges: Vec<Edge> = Vec::new();
+            for &v in &verts {
+                for &(w, wt) in &self.adj[v as usize] {
+                    if v < w {
+                        debug_assert_ne!(
+                            local_of[w as usize],
+                            u32::MAX,
+                            "edge ({v}, {w}) escapes the dirty region"
+                        );
+                        local_edges.push(Edge::new(local_of[v as usize], local_of[w as usize], wt));
+                    }
+                }
+            }
+            report.rebuild_vertices = verts.len();
+            report.rebuild_edges = local_edges.len();
+            let sub = llp_boruvka_from_edges(verts.len(), local_edges, pool);
+            rebuilt.extend(
+                sub.edges
+                    .iter()
+                    .map(|e| Edge::new(verts[e.u as usize], verts[e.v as usize], e.w)),
+            );
+        }
+        report.rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // ---- Assemble the next forest: untouched trees' edges, minus
+        // fast-path evictions, plus fast-path winners and the re-run.
+        report.tree_changed = dirty_any || report.fast_swaps > 0;
+        let graph_changed = report.inserts_applied > 0 || report.deletes_applied > 0;
+        if report.tree_changed {
+            let mut new_edges: Vec<Edge> =
+                Vec::with_capacity(self.msf.edges.len() + winners.len() + rebuilt.len());
+            for e in &self.msf.edges {
+                if dirty[self.index.component(e.u) as usize]
+                    || evicted.contains(&e.canonical_endpoints())
+                {
+                    continue;
+                }
+                new_edges.push(*e);
+            }
+            new_edges.extend(winners);
+            new_edges.extend(rebuilt);
+            let msf = MstResult::try_from_edges(self.n, new_edges, AlgoStats::default())
+                .map_err(DynamicError::Overflow)?;
+
+            let t = Instant::now();
+            let index = {
+                let _s = telemetry::span("dynamic-index");
+                Arc::new(PathMaxIndex::build_par(self.n, &msf, pool)?)
+            };
+            report.index_ms = t.elapsed().as_secs_f64() * 1e3;
+            self.msf = msf;
+            self.index = index;
+        }
+
+        if self.certify_epochs && (report.tree_changed || graph_changed) {
+            let t = Instant::now();
+            self.certify_now(pool)?;
+            report.certify_ms = t.elapsed().as_secs_f64() * 1e3;
+        }
+
+        self.epoch += 1;
+        telemetry::counter_add("dynamic-epochs", 1);
+        telemetry::counter_add("dynamic-inserts-applied", report.inserts_applied as u64);
+        telemetry::counter_add("dynamic-deletes-applied", report.deletes_applied as u64);
+        telemetry::counter_add("dynamic-fast-swaps", report.fast_swaps as u64);
+        telemetry::counter_add("dynamic-rebuild-vertices", report.rebuild_vertices as u64);
+        Ok(report)
+    }
+
+    /// Full certification sweep of the current forest against the current
+    /// graph, through the current index.
+    fn certify_now(&self, pool: &ThreadPool) -> Result<(), DynamicError> {
+        let _s = telemetry::span("dynamic-certify");
+        let edges = self.current_edges();
+        let graph = CsrGraph::from_edges_parallel(pool, self.n, &edges);
+        certify_against(&graph, &self.msf, &self.index, Some(pool))?;
+        Ok(())
+    }
+
+    /// Removes `(lo, hi)` from both adjacency lists; `None` if absent.
+    fn remove_edge(&mut self, lo: u32, hi: u32) -> Option<f64> {
+        let i = self.adj[lo as usize].iter().position(|&(x, _)| x == hi)?;
+        let (_, w) = self.adj[lo as usize].swap_remove(i);
+        let j = self.adj[hi as usize]
+            .iter()
+            .position(|&(x, _)| x == lo)
+            .expect("mirror arc present");
+        self.adj[hi as usize].swap_remove(j);
+        self.m -= 1;
+        Some(w)
+    }
+}
+
+/// Classifies one fresh insert against the frozen epoch index.
+fn classify_one(e: &Edge, index: &PathMaxIndex) -> InsertClass {
+    let cu = index.component(e.u);
+    let cv = index.component(e.v);
+    if cu != cv {
+        return InsertClass::Link { cu, cv };
+    }
+    let bottleneck = index
+        .path_max(e.u, e.v)
+        .expect("distinct vertices in one tree have a path");
+    InsertClass::Intra {
+        comp: cu,
+        beats: e.key() < bottleneck,
+        bottleneck,
+    }
+}
+
+fn validate_insert(e: &Edge, n: usize) -> Result<(), DynamicError> {
+    if (e.u as usize) >= n || (e.v as usize) >= n {
+        return Err(DynamicError::OutOfRange(*e));
+    }
+    if e.u == e.v {
+        return Err(DynamicError::SelfLoop(*e));
+    }
+    if !e.w.is_finite() {
+        return Err(DynamicError::NonFiniteWeight(*e));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::kruskal;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(2)
+    }
+
+    /// Recompute the canonical MSF of the dynamic structure's current
+    /// graph from scratch and compare edge sets.
+    fn assert_matches_recompute(d: &DynamicMsf) {
+        let edges = d.current_edges();
+        let g = CsrGraph::from_edges(d.num_vertices(), &edges);
+        let want = kruskal(&g);
+        assert_eq!(d.msf().canonical_keys(), want.canonical_keys());
+        assert_eq!(d.msf().num_trees, want.num_trees);
+    }
+
+    #[test]
+    fn losing_insert_stays_out_of_the_tree() {
+        let p = pool();
+        // Path 0-1-2 with light edges; a heavy chord loses.
+        let edges = vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0)];
+        let mut d = DynamicMsf::from_edges(3, edges, &p).unwrap();
+        let r = d
+            .apply_batch(&[Edge::new(0, 2, 9.0)], &[], &p)
+            .unwrap();
+        assert_eq!(r.fast_rejects, 1);
+        assert_eq!(r.fast_swaps, 0);
+        assert!(!r.tree_changed);
+        assert_eq!(d.num_edges(), 3);
+        assert_matches_recompute(&d);
+    }
+
+    #[test]
+    fn winning_insert_evicts_the_bottleneck() {
+        let p = pool();
+        let edges = vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 5.0)];
+        let mut d = DynamicMsf::from_edges(3, edges, &p).unwrap();
+        let r = d
+            .apply_batch(&[Edge::new(0, 2, 2.0)], &[], &p)
+            .unwrap();
+        assert_eq!(r.fast_swaps, 1);
+        assert!(r.tree_changed);
+        // The 5.0 edge is evicted but stays in the graph.
+        assert_eq!(d.num_edges(), 3);
+        assert_eq!(d.msf().edges.len(), 2);
+        assert!((d.msf().total_weight - 3.0).abs() < 1e-12);
+        assert_matches_recompute(&d);
+    }
+
+    #[test]
+    fn linking_insert_merges_trees_via_rebuild() {
+        let p = pool();
+        let edges = vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0)];
+        let mut d = DynamicMsf::from_edges(4, edges, &p).unwrap();
+        assert_eq!(d.msf().num_trees, 2);
+        let r = d
+            .apply_batch(&[Edge::new(1, 2, 0.5)], &[], &p)
+            .unwrap();
+        assert_eq!(r.links, 1);
+        assert_eq!(r.dirty_components, 2);
+        assert_eq!(d.msf().num_trees, 1);
+        assert_matches_recompute(&d);
+    }
+
+    #[test]
+    fn deleting_a_tree_edge_finds_the_replacement() {
+        let p = pool();
+        // Cycle: tree is 0-1, 1-2; deleting 1-2 promotes the chord 0-2.
+        let edges = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 2.0),
+            Edge::new(0, 2, 3.0),
+        ];
+        let mut d = DynamicMsf::from_edges(3, edges, &p).unwrap();
+        let r = d.apply_batch(&[], &[(2, 1)], &p).unwrap();
+        assert_eq!(r.deletes_applied, 1);
+        assert_eq!(r.dirty_components, 1);
+        assert_eq!(d.msf().num_trees, 1);
+        assert!((d.msf().total_weight - 4.0).abs() < 1e-12);
+        assert_matches_recompute(&d);
+    }
+
+    #[test]
+    fn disconnecting_delete_splits_the_forest() {
+        let p = pool();
+        let edges = vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0)];
+        let mut d = DynamicMsf::from_edges(3, edges, &p).unwrap();
+        let r = d.apply_batch(&[], &[(0, 1)], &p).unwrap();
+        assert_eq!(r.deletes_applied, 1);
+        assert_eq!(d.msf().num_trees, 2);
+        assert_eq!(d.num_edges(), 1);
+        assert_matches_recompute(&d);
+    }
+
+    #[test]
+    fn empty_batch_is_a_certified_noop() {
+        let p = pool();
+        let mut d =
+            DynamicMsf::from_edges(3, vec![Edge::new(0, 1, 1.0)], &p).unwrap();
+        let before = d.msf().canonical_keys();
+        let r = d.apply_batch(&[], &[], &p).unwrap();
+        assert_eq!(r.updates(), 0);
+        assert!(!r.tree_changed);
+        assert_eq!(d.epoch(), 1);
+        assert_eq!(d.msf().canonical_keys(), before);
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_delete_are_noops() {
+        let p = pool();
+        let mut d =
+            DynamicMsf::from_edges(3, vec![Edge::new(0, 1, 1.0)], &p).unwrap();
+        let r = d
+            .apply_batch(&[Edge::new(1, 0, 7.0)], &[(1, 2)], &p)
+            .unwrap();
+        assert_eq!(r.inserts_duplicate, 1);
+        assert_eq!(r.deletes_missing, 1);
+        assert_eq!(r.updates(), 2);
+        assert_eq!(d.num_edges(), 1);
+        assert_matches_recompute(&d);
+    }
+
+    #[test]
+    fn delete_then_reinsert_in_one_batch_updates_the_weight() {
+        let p = pool();
+        let edges = vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0)];
+        let mut d = DynamicMsf::from_edges(3, edges, &p).unwrap();
+        let r = d
+            .apply_batch(&[Edge::new(0, 1, 0.25)], &[(0, 1)], &p)
+            .unwrap();
+        assert_eq!(r.deletes_applied, 1);
+        assert_eq!(r.inserts_applied, 1);
+        assert!((d.msf().total_weight - 2.25).abs() < 1e-12);
+        assert_matches_recompute(&d);
+    }
+
+    #[test]
+    fn invalid_updates_error_without_touching_state() {
+        let p = pool();
+        let mut d =
+            DynamicMsf::from_edges(3, vec![Edge::new(0, 1, 1.0)], &p).unwrap();
+        let before_edges = d.num_edges();
+        let before_epoch = d.epoch();
+        assert!(matches!(
+            d.apply_batch(&[Edge::new(0, 9, 1.0)], &[], &p),
+            Err(DynamicError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            d.apply_batch(&[Edge::new(1, 1, 1.0)], &[], &p),
+            Err(DynamicError::SelfLoop(_))
+        ));
+        assert!(matches!(
+            d.apply_batch(&[Edge::new(0, 2, f64::NAN)], &[], &p),
+            Err(DynamicError::NonFiniteWeight(_))
+        ));
+        assert!(matches!(
+            d.apply_batch(&[], &[(0, 9)], &p),
+            Err(DynamicError::OutOfRange(_))
+        ));
+        assert_eq!(d.num_edges(), before_edges);
+        assert_eq!(d.epoch(), before_epoch);
+    }
+
+    #[test]
+    fn parallel_edge_dedup_keeps_the_smallest_key() {
+        let p = pool();
+        let edges = vec![
+            Edge::new(0, 1, 3.0),
+            Edge::new(1, 0, 1.0),
+            Edge::new(0, 1, 2.0),
+        ];
+        let d = DynamicMsf::from_edges(2, edges, &p).unwrap();
+        assert_eq!(d.num_edges(), 1);
+        assert!((d.msf().total_weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_epochs_of_mixed_updates_stay_canonical() {
+        let p = pool();
+        let g = llp_graph::generators::erdos_renyi(60, 120, 3);
+        let mut d = DynamicMsf::new(&g, &p).unwrap();
+        let mut rng = llp_runtime::rng::SmallRng::seed_from_u64(7);
+        for _ in 0..6 {
+            let mut inserts = Vec::new();
+            let mut deletes = Vec::new();
+            for _ in 0..10 {
+                let u = rng.gen_range(0..60u32);
+                let v = rng.gen_range(0..60u32);
+                if u == v {
+                    continue;
+                }
+                if rng.gen_bool(0.5) {
+                    inserts.push(Edge::new(u, v, rng.gen_range(1..8u32) as f64 / 2.0));
+                } else {
+                    deletes.push((u, v));
+                }
+            }
+            d.apply_batch(&inserts, &deletes, &p).unwrap();
+            assert_matches_recompute(&d);
+        }
+        assert_eq!(d.epoch(), 6);
+    }
+}

@@ -36,6 +36,7 @@
 pub mod boruvka;
 pub mod certify;
 pub mod contraction;
+pub mod dynamic;
 pub mod filter_kruskal;
 pub mod heap;
 pub mod hybrid;
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::result::{MstError, MstResult};
     pub use crate::stats::AlgoStats;
     pub use crate::certify::{certify_against, certify_msf, certify_msf_par};
+    pub use crate::dynamic::{DynamicError, DynamicMsf, EpochReport};
     pub use crate::index::PathMaxIndex;
     pub use crate::tree::RootedForest;
     pub use crate::verify::{verify_cut_property, verify_cycle_property, verify_forest_structure, verify_msf};

@@ -18,15 +18,44 @@ pub struct MstResult {
 
 impl MstResult {
     /// Assembles a result from chosen edges.
+    ///
+    /// Panics (with the edge/vertex counts) when `edges` holds more than
+    /// `num_vertices − 1` edges — a forest cannot, so the caller handed in
+    /// something that is not a forest. Callers that can transiently
+    /// over-supply edges (e.g. batched dynamic updates) should use
+    /// [`MstResult::try_from_edges`] and surface the error instead.
     pub fn from_edges(num_vertices: usize, edges: Vec<Edge>, stats: AlgoStats) -> Self {
+        match Self::try_from_edges(num_vertices, edges, stats) {
+            Ok(r) => r,
+            Err(ForestOverflow { edges, vertices }) => panic!(
+                "MstResult::from_edges: {edges} edges cannot form a forest \
+                 over {vertices} vertices (at most {} are possible)",
+                vertices.saturating_sub(1)
+            ),
+        }
+    }
+
+    /// [`MstResult::from_edges`] with the `num_trees = n − |edges|`
+    /// subtraction checked: more edges than a forest over `num_vertices`
+    /// can hold is an error, not an underflowing panic.
+    pub fn try_from_edges(
+        num_vertices: usize,
+        edges: Vec<Edge>,
+        stats: AlgoStats,
+    ) -> Result<Self, ForestOverflow> {
+        let Some(num_trees) = num_vertices.checked_sub(edges.len()) else {
+            return Err(ForestOverflow {
+                edges: edges.len(),
+                vertices: num_vertices,
+            });
+        };
         let total_weight = edges.iter().map(|e| e.w).sum();
-        let num_trees = num_vertices - edges.len();
-        MstResult {
+        Ok(MstResult {
             edges,
             total_weight,
             num_trees,
             stats,
-        }
+        })
     }
 
     /// Canonical sorted edge keys, for exact cross-algorithm comparison.
@@ -41,6 +70,28 @@ impl MstResult {
         n > 0 && self.edges.len() == n - 1
     }
 }
+
+/// A claimed forest with more edges than vertices — the
+/// `num_trees = n − |edges|` bookkeeping cannot be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestOverflow {
+    /// Edges supplied.
+    pub edges: usize,
+    /// Vertices of the claimed forest.
+    pub vertices: usize,
+}
+
+impl std::fmt::Display for ForestOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} edges cannot form a forest over {} vertices",
+            self.edges, self.vertices
+        )
+    }
+}
+
+impl std::error::Error for ForestOverflow {}
 
 /// Errors from tree-only algorithms.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +165,35 @@ mod tests {
             AlgoStats::default(),
         );
         assert_eq!(a.canonical_keys(), b.canonical_keys());
+    }
+
+    #[test]
+    fn from_edges_overflow_is_a_descriptive_panic_and_try_is_an_error() {
+        let too_many = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(0, 2, 1.0),
+        ];
+        let err = MstResult::try_from_edges(2, too_many.clone(), AlgoStats::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ForestOverflow {
+                edges: 3,
+                vertices: 2
+            }
+        );
+        assert!(err.to_string().contains("3 edges"));
+
+        let panic = std::panic::catch_unwind(|| {
+            MstResult::from_edges(2, too_many, AlgoStats::default())
+        })
+        .unwrap_err();
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("cannot form a forest"), "{msg}");
     }
 
     #[test]

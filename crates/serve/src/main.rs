@@ -4,6 +4,7 @@
 //! llp-mst-serve gen        --out g.bin [--kind rmat|er] [--scale 16] [--ef 16] [--seed 1]
 //! llp-mst-serve serve      --graph g.bin [--addr 127.0.0.1:0] [--threads T]
 //!                          [--workers W] [--port-file p.txt]
+//!                          [--dynamic [--update-threads U]]
 //! llp-mst-serve loadgen    --addr HOST:PORT [--graph g.bin --verify] [--batches 1,16,256,4096]
 //!                          [--queries 100000] [--seed 42] [--report out.json] [--shutdown]
 //! llp-mst-serve bench      [--graph g.bin | --scale 16 --ef 16 --seed 1] [--threads T]
@@ -144,14 +145,28 @@ fn cmd_serve(args: &mut Vec<String>) -> Result<(), String> {
     let threads: usize = parse("--threads", take_opt(args, "--threads")?, default_threads())?;
     let workers: usize = parse("--workers", take_opt(args, "--workers")?, 2)?;
     let port_file = take_opt(args, "--port-file")?;
+    let dynamic = take_flag(args, "--dynamic");
+    let update_threads: usize =
+        parse("--update-threads", take_opt(args, "--update-threads")?, 2)?;
     no_leftovers(args)?;
 
     let graph = load_graph(&PathBuf::from(&graph_path)).map_err(|e| format!("{graph_path}: {e}"))?;
     let pool = ThreadPool::new(threads);
-    let service =
-        Arc::new(MsfService::build(&graph, &pool).map_err(|e| format!("certification failed: {e}"))?);
+    let service = if dynamic {
+        Arc::new(
+            MsfService::build_dynamic(&graph, &pool, update_threads)
+                .map_err(|e| format!("dynamic build failed: {e}"))?,
+        )
+    } else {
+        Arc::new(
+            MsfService::build(&graph, &pool).map_err(|e| format!("certification failed: {e}"))?,
+        )
+    };
     drop(pool);
     print_build(&service);
+    if dynamic {
+        println!("dynamic updates: enabled ({update_threads} update threads)");
+    }
 
     let listener = TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;

@@ -21,17 +21,30 @@
 //! | 2 | `connected_under(a, b, w)` | single-linkage threshold `w` |
 //! | 3 | `info` | graph/forest summary |
 //! | 4 | `shutdown` | stop the server after acknowledging |
+//! | 5 | `insert(a, b, w)` | queue edge insertion (dynamic servers) |
+//! | 6 | `delete(a, b)` | queue edge deletion (dynamic servers) |
+//! | 7 | `epoch` | latest certified epoch summary |
 //!
 //! Response records (`tag` = status): `1` = answer in `a`/`b`/`w`
 //! (component id in `a`; bottleneck edge as `a`=lo, `b`=hi, `w`=weight;
-//! connected-under true; info as `a`=n, `b`=trees, `w`=total weight),
-//! `0` = negative answer (different trees / not connected under λ), `2` =
-//! invalid query (vertex id out of range).
+//! connected-under true; info as `a`=n, `b`=trees, `w`=total weight;
+//! insert/delete queued; epoch as `a`=epoch, `b`=trees, `w`=total
+//! weight), `0` = negative answer (different trees / not connected under
+//! λ), `2` = invalid query (vertex id out of range, self-loop update, or
+//! an update sent to a static server).
+//!
+//! A request the server cannot *decode* is answered with a one-record
+//! **error frame** (`tag` = `3`) before the connection closes — the peer
+//! learns its frame was malformed instead of watching the socket drop.
+//! [`decode_responses`] surfaces that frame as a [`ProtoError`] whatever
+//! the sent batch was.
 //!
 //! The decoder never trusts the peer: frames are capped at
 //! [`MAX_BATCH`] records, the length prefix must agree with the record
-//! count exactly, and unknown opcodes are rejected — the same hardened
-//! posture as `llp_graph::io::binary`.
+//! count exactly, unknown opcodes are rejected, and `w` fields that
+//! feed weight comparisons (`connected_under` λ, `insert` weight) must
+//! be finite — a NaN λ would otherwise silently compare false on every
+//! edge. The same hardened posture as `llp_graph::io::binary`.
 
 use std::io::{Read, Write};
 
@@ -56,6 +69,12 @@ pub enum Query {
     Info,
     /// Acknowledge, then stop the server.
     Shutdown,
+    /// Queue an edge insertion for the next dynamic epoch.
+    Insert(u32, u32, f64),
+    /// Queue an edge deletion for the next dynamic epoch.
+    Delete(u32, u32),
+    /// The latest certified epoch (number, trees, total weight).
+    Epoch,
 }
 
 /// A server answer, in request order.
@@ -79,7 +98,19 @@ pub enum Response {
     },
     /// `shutdown` acknowledged.
     ShuttingDown,
-    /// The query named a vertex the graph does not have.
+    /// `insert`/`delete`: queued; it will apply in a future epoch.
+    Accepted,
+    /// `epoch`: the latest certified epoch being served.
+    Epoch {
+        /// Epoch number (0 = the initial build).
+        epoch: u32,
+        /// Trees in that epoch's certified forest.
+        trees: u32,
+        /// Total weight of that epoch's certified forest.
+        total_weight: f64,
+    },
+    /// The query named a vertex the graph does not have, inserted a
+    /// self-loop, or sent an update to a static server.
     Invalid,
 }
 
@@ -122,12 +153,16 @@ pub fn encode_queries(batch: &[Query], out: &mut Vec<u8>) {
             Query::ConnectedUnder(u, v, l) => push_record(out, 2, u, v, l),
             Query::Info => push_record(out, 3, 0, 0, 0.0),
             Query::Shutdown => push_record(out, 4, 0, 0, 0.0),
+            Query::Insert(u, v, w) => push_record(out, 5, u, v, w),
+            Query::Delete(u, v) => push_record(out, 6, u, v, 0.0),
+            Query::Epoch => push_record(out, 7, 0, 0, 0.0),
         }
     }
 }
 
 /// Parses a request payload. Rejects length/count mismatches, oversized
-/// batches and unknown opcodes.
+/// batches, unknown opcodes, and non-finite `w` fields on the opcodes
+/// that compare weights (`connected_under`, `insert`).
 pub fn decode_queries(payload: &[u8]) -> Result<Vec<Query>, ProtoError> {
     let records = check_counts(payload)?;
     records
@@ -135,12 +170,24 @@ pub fn decode_queries(payload: &[u8]) -> Result<Vec<Query>, ProtoError> {
         .enumerate()
         .map(|(i, rec)| {
             let (op, a, b, w) = split_record(rec);
+            let finite = |q: Query| {
+                if w.is_finite() {
+                    Ok(q)
+                } else {
+                    Err(ProtoError(format!(
+                        "record #{i}: non-finite weight {w} (opcode {op})"
+                    )))
+                }
+            };
             match op {
                 0 => Ok(Query::Component(a)),
                 1 => Ok(Query::PathMax(a, b)),
-                2 => Ok(Query::ConnectedUnder(a, b, w)),
+                2 => finite(Query::ConnectedUnder(a, b, w)),
                 3 => Ok(Query::Info),
                 4 => Ok(Query::Shutdown),
+                5 => finite(Query::Insert(a, b, w)),
+                6 => Ok(Query::Delete(a, b)),
+                7 => Ok(Query::Epoch),
                 other => Err(ProtoError(format!("record #{i}: unknown opcode {other}"))),
             }
         })
@@ -163,10 +210,28 @@ pub fn encode_responses(batch: &[Response], out: &mut Vec<u8>) {
                 total_weight,
             } => push_record(out, 1, n, trees, total_weight),
             Response::ShuttingDown => push_record(out, 1, 0, 0, 0.0),
+            Response::Accepted => push_record(out, 1, 0, 0, 0.0),
+            Response::Epoch {
+                epoch,
+                trees,
+                total_weight,
+            } => push_record(out, 1, epoch, trees, total_weight),
             Response::Invalid => push_record(out, 2, 0, 0, 0.0),
         }
     }
 }
+
+/// Serializes the one-record error frame a server sends when it cannot
+/// decode a request (tag [`STATUS_ERROR`]), just before closing the
+/// connection.
+pub fn encode_error_response(out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&1u32.to_le_bytes());
+    push_record(out, STATUS_ERROR, 0, 0, 0.0);
+}
+
+/// Response tag of the malformed-request error frame.
+pub const STATUS_ERROR: u8 = 3;
 
 /// Parses a response payload. Response records are positional — their
 /// meaning depends on the query that prompted them — so the caller
@@ -174,6 +239,13 @@ pub fn encode_responses(batch: &[Response], out: &mut Vec<u8>) {
 pub fn decode_responses(payload: &[u8], sent: &[Query]) -> Result<Vec<Response>, ProtoError> {
     let records = check_counts(payload)?;
     let count = records.len() / RECORD_BYTES;
+    // A one-record error frame outranks positional decoding: the server
+    // is telling us it could not parse what we sent.
+    if count == 1 && records[0] == STATUS_ERROR {
+        return Err(ProtoError(
+            "server rejected the request as malformed".into(),
+        ));
+    }
     if count != sent.len() {
         return Err(ProtoError(format!(
             "{count} responses to {} queries",
@@ -205,6 +277,12 @@ pub fn decode_responses(payload: &[u8], sent: &[Query]) -> Result<Vec<Response>,
                     total_weight: w,
                 },
                 Query::Shutdown => Response::ShuttingDown,
+                Query::Insert(..) | Query::Delete(..) => Response::Accepted,
+                Query::Epoch => Response::Epoch {
+                    epoch: a,
+                    trees: b,
+                    total_weight: w,
+                },
             })
         })
         .collect()
@@ -329,6 +407,61 @@ mod tests {
         let mut bad = 1u32.to_le_bytes().to_vec();
         bad.extend_from_slice(&[200u8; RECORD_BYTES]);
         assert!(decode_queries(&bad).is_err());
+    }
+
+    #[test]
+    fn dynamic_opcodes_round_trip() {
+        let sent = vec![
+            Query::Insert(3, 9, 0.75),
+            Query::Delete(4, 5),
+            Query::Epoch,
+            Query::Insert(0, 99, 1.0),
+        ];
+        let mut buf = Vec::new();
+        encode_queries(&sent, &mut buf);
+        assert_eq!(decode_queries(&buf).unwrap(), sent);
+
+        let batch = vec![
+            Response::Accepted,
+            Response::Accepted,
+            Response::Epoch {
+                epoch: 12,
+                trees: 3,
+                total_weight: 9.5,
+            },
+            Response::Invalid,
+        ];
+        encode_responses(&batch, &mut buf);
+        assert_eq!(decode_responses(&buf, &sent).unwrap(), batch);
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_at_decode() {
+        let mut buf = Vec::new();
+        for q in [
+            Query::ConnectedUnder(0, 1, f64::NAN),
+            Query::ConnectedUnder(0, 1, f64::INFINITY),
+            Query::Insert(0, 1, f64::NAN),
+            Query::Insert(0, 1, f64::NEG_INFINITY),
+        ] {
+            encode_queries(&[q], &mut buf);
+            let err = decode_queries(&buf).unwrap_err();
+            assert!(err.0.contains("non-finite"), "{err}");
+        }
+        // A finite λ still decodes.
+        encode_queries(&[Query::ConnectedUnder(0, 1, 0.5)], &mut buf);
+        assert!(decode_queries(&buf).is_ok());
+    }
+
+    #[test]
+    fn error_frame_decodes_to_a_protocol_error() {
+        let mut buf = Vec::new();
+        encode_error_response(&mut buf);
+        // Whatever we sent, the error frame wins.
+        for sent in [vec![Query::Info], vec![Query::Component(0); 3]] {
+            let err = decode_responses(&buf, &sent).unwrap_err();
+            assert!(err.0.contains("malformed"), "{err}");
+        }
     }
 
     #[test]

@@ -4,13 +4,18 @@
 //!
 //! Each worker owns one connection at a time and answers frames until the
 //! peer closes. Malformed frames (bad length prefix, bad record count,
-//! unknown opcode) drop the connection and bump the `serve-bad-frames`
-//! counter; they never panic the server. A `shutdown` query acknowledges,
-//! then stops the accept loop (a loopback connect unblocks it) and drains
-//! the workers.
+//! unknown opcode, non-finite weight) are answered with a one-record
+//! protocol **error frame** (tag 3) before the connection closes, and bump
+//! the `serve-bad-frames` counter — the peer learns its request was
+//! malformed instead of watching the socket drop. Workers additionally
+//! wrap each connection in `catch_unwind`, so a panic anywhere in the
+//! answer path costs one connection, never a pool thread. A `shutdown`
+//! query acknowledges, then stops the accept loop (a loopback connect
+//! unblocks it) and drains the workers.
 
 use crate::protocol::{
-    decode_queries, encode_responses, read_frame, write_frame, Query, MAX_PAYLOAD,
+    decode_queries, encode_error_response, encode_responses, read_frame, write_frame, Query,
+    MAX_PAYLOAD,
 };
 use crate::service::MsfService;
 use llp_runtime::sync::{Condvar, Mutex};
@@ -78,7 +83,15 @@ pub fn run_server(
             let shutdown = Arc::clone(&shutdown);
             std::thread::spawn(move || {
                 while let Some(conn) = queue.pop() {
-                    handle_connection(conn, &service, &shutdown, addr);
+                    // A panic while answering must cost one connection,
+                    // not this worker: a dead worker silently and
+                    // permanently shrinks the pool.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(conn, &service, &shutdown, addr);
+                    }));
+                    if outcome.is_err() {
+                        telemetry::counter_add("serve-worker-panics", 1);
+                    }
                 }
             })
         })
@@ -123,7 +136,11 @@ fn handle_connection(
             Ok(Some(p)) => p,
             Ok(None) => return, // clean EOF
             Err(_) => {
+                // Stream position is unknowable after a framing error:
+                // answer with the error frame, then close.
                 telemetry::counter_add("serve-bad-frames", 1);
+                encode_error_response(&mut out);
+                let _ = write_frame(&mut writer, &out);
                 return;
             }
         };
@@ -131,6 +148,8 @@ fn handle_connection(
             Ok(q) => q,
             Err(_) => {
                 telemetry::counter_add("serve-bad-frames", 1);
+                encode_error_response(&mut out);
+                let _ = write_frame(&mut writer, &out);
                 return;
             }
         };

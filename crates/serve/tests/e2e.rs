@@ -138,20 +138,40 @@ fn many_clients_share_the_workers() {
     assert!(server.join().unwrap().unwrap() >= 5);
 }
 
+/// Reads the server's reply to a malformed request: it must be the
+/// one-record protocol error frame, which `decode_responses` surfaces as
+/// a `ProtoError`, followed by a clean close.
+fn expect_error_frame(conn: &TcpStream) {
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let reply = read_frame(&mut reader, MAX_PAYLOAD)
+        .expect("error frame, not a dropped socket")
+        .expect("error frame, not bare EOF");
+    let err = decode_responses(&reply, &[Query::Info]).unwrap_err();
+    assert!(err.0.contains("malformed"), "{err}");
+    // And then the server closes the connection.
+    assert!(matches!(read_frame(&mut reader, MAX_PAYLOAD), Ok(None)));
+}
+
 #[test]
-fn bad_frames_drop_the_connection_but_not_the_server() {
-    let (addr, _service, server) = start();
+fn bad_frames_get_an_error_response_and_never_kill_a_worker() {
+    // 1 worker: if any malformed frame panicked (or silently killed) the
+    // worker thread, every later connection would hang unserved.
+    let graph = erdos_renyi(400, 700, 11);
+    let pool = ThreadPool::new(2);
+    let service = Arc::new(MsfService::build(&graph, &pool).unwrap());
+    drop(pool);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || run_server(listener, service, 1))
+    };
 
     // Garbage length prefix far beyond the payload cap.
     let mut conn = TcpStream::connect(&addr).unwrap();
     conn.write_all(&u32::MAX.to_le_bytes()).unwrap();
     conn.write_all(&[0xab; 64]).unwrap();
-    let mut reader = BufReader::new(conn.try_clone().unwrap());
-    assert!(matches!(
-        read_frame(&mut reader, MAX_PAYLOAD),
-        Ok(None) | Err(_)
-    ));
-    drop(reader);
+    expect_error_frame(&conn);
     drop(conn);
 
     // Valid frame, malformed payload (count disagrees with length).
@@ -160,15 +180,26 @@ fn bad_frames_drop_the_connection_but_not_the_server() {
     encode_queries(&[Query::Info, Query::Info], &mut payload);
     payload.truncate(payload.len() - 1);
     write_frame(&mut conn, &payload).unwrap();
-    let mut reader = BufReader::new(conn.try_clone().unwrap());
-    assert!(matches!(
-        read_frame(&mut reader, MAX_PAYLOAD),
-        Ok(None) | Err(_)
-    ));
-    drop(reader);
+    expect_error_frame(&conn);
     drop(conn);
 
-    // The server is still alive and correct afterwards.
+    // Unknown opcode.
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    let mut payload = 1u32.to_le_bytes().to_vec();
+    payload.extend_from_slice(&[200u8; 17]);
+    write_frame(&mut conn, &payload).unwrap();
+    expect_error_frame(&conn);
+    drop(conn);
+
+    // Non-finite λ is rejected at decode, same error path.
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    let mut payload = Vec::new();
+    encode_queries(&[Query::ConnectedUnder(0, 1, f64::NAN)], &mut payload);
+    write_frame(&mut conn, &payload).unwrap();
+    expect_error_frame(&conn);
+    drop(conn);
+
+    // The single worker is still alive and correct afterwards.
     let mut c = Client::connect(&addr);
     assert!(matches!(
         c.ask(&[Query::Component(0)]).as_slice(),
@@ -177,5 +208,68 @@ fn bad_frames_drop_the_connection_but_not_the_server() {
     drop(c);
 
     shutdown(&addr);
-    assert!(server.join().unwrap().unwrap() >= 4);
+    assert!(server.join().unwrap().unwrap() >= 6);
+}
+
+#[test]
+fn dynamic_updates_apply_while_the_server_answers() {
+    let graph = erdos_renyi(300, 500, 13);
+    let pool = ThreadPool::new(2);
+    let service = Arc::new(MsfService::build_dynamic(&graph, &pool, 2).unwrap());
+    drop(pool);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || run_server(listener, service, 2))
+    };
+    let mut c = Client::connect(&addr);
+
+    // Epoch 0 is the initial certified build.
+    let epoch0 = match c.ask(&[Query::Epoch]).as_slice() {
+        [Response::Epoch { epoch, .. }] => *epoch,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(epoch0, 0);
+
+    // Insert an edge the graph does not have, so light it must join the
+    // forest; static-mode-only rejections do not apply here.
+    let taken: std::collections::HashSet<(u32, u32)> = graph
+        .edges()
+        .map(|e| e.canonical_endpoints())
+        .collect();
+    let v = (1..300u32).find(|&v| !taken.contains(&(0, v))).unwrap();
+    assert_eq!(
+        c.ask(&[Query::Insert(0, v, 1e-7), Query::Delete(5, 5_000)]),
+        vec![Response::Accepted, Response::Invalid]
+    );
+
+    // Poll the epoch over the wire until the updater publishes.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match c.ask(&[Query::Epoch]).as_slice() {
+            [Response::Epoch { epoch, .. }] if *epoch > 0 => break,
+            [Response::Epoch { .. }] => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "updater never published an epoch"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(service.last_update_error(), None);
+
+    // The served answers now reflect the new certified epoch.
+    match c.ask(&[Query::PathMax(0, v)]).as_slice() {
+        [Response::PathMax(Some((lo, hi, w)))] => {
+            assert_eq!((*lo, *hi), (0, v));
+            assert!((*w - 1e-7).abs() < 1e-20);
+        }
+        other => panic!("expected the inserted edge as bottleneck, got {other:?}"),
+    }
+
+    drop(c);
+    shutdown(&addr);
+    assert!(server.join().unwrap().unwrap() >= 2);
 }
