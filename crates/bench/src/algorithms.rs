@@ -30,6 +30,8 @@ pub enum Algorithm {
     LlpBoruvka,
     /// Boruvka–Prim hybrid (2 LLP contraction rounds, then Prim).
     Hybrid,
+    /// SpMV-Boruvka: the round as min-plus SpMV + SpGEMM contraction.
+    SpmvBoruvka,
 }
 
 impl Algorithm {
@@ -47,6 +49,7 @@ impl Algorithm {
             Algorithm::LlpPrim => "LLP-Prim",
             Algorithm::LlpBoruvka => "LLP-Boruvka",
             Algorithm::Hybrid => "Hybrid B2+Prim",
+            Algorithm::SpmvBoruvka => "SpMV-Boruvka",
         }
     }
 
@@ -77,6 +80,7 @@ impl Algorithm {
             Algorithm::LlpPrim,
             Algorithm::LlpBoruvka,
             Algorithm::Hybrid,
+            Algorithm::SpmvBoruvka,
         ]
     }
 }
@@ -133,6 +137,7 @@ pub fn run_algorithm_with_mwe(
         },
         Algorithm::LlpBoruvka => llp_boruvka(graph, pool),
         Algorithm::Hybrid => hybrid_boruvka_prim(graph, pool, 2).expect(CONNECTED),
+        Algorithm::SpmvBoruvka => spmv_boruvka_par(graph, pool),
     }
 }
 
@@ -169,5 +174,6 @@ mod tests {
         assert!(!Algorithm::FilterKruskalPar.is_sequential());
         assert!(!Algorithm::LlpPrim.is_sequential());
         assert!(!Algorithm::LlpBoruvka.is_sequential());
+        assert!(!Algorithm::SpmvBoruvka.is_sequential());
     }
 }

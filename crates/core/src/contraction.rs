@@ -33,8 +33,85 @@ use llp_graph::{CsrGraph, Edge, EdgeKey};
 use llp_runtime::atomics::{as_atomic_u32, as_atomic_u64, mwe_idx, mwe_propose, weight_hi32, MWE_EMPTY};
 use llp_runtime::partition::{compact_map_into, count_scan_chunks};
 use llp_runtime::telemetry;
-use llp_runtime::{parallel_for, Counter, ParallelForConfig, ScratchArena, SendPtr, ThreadPool};
+use llp_runtime::{
+    parallel_for, Counter, ParallelForConfig, ScratchArena, ScratchVec, SendPtr, ThreadPool,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Pointer-jumps the rooted forest `g` to a star forest with relaxed
+/// atomics (the inner LLP instance, Lemma 3/4): every vertex repeatedly
+/// adopts its grandparent until the whole forest is flat. Assignments are
+/// counted into `jumps`; each sweep is one parallel region in `stats`.
+///
+/// Shared by the edge-list contraction engine below and the sparse-matrix
+/// backend in [`crate::spmv_boruvka`] — the hook-and-compress step is
+/// identical no matter how the MWE picks were computed.
+pub fn pointer_jump_to_roots(
+    pool: &ThreadPool,
+    cfg: ParallelForConfig,
+    g: &mut [u32],
+    jumps: &Counter,
+    stats: &mut AlgoStats,
+) {
+    let n = g.len();
+    let g_cells = as_atomic_u32(g);
+    loop {
+        stats.parallel_regions += 1;
+        let changed = AtomicBool::new(false);
+        {
+            let changed_ref = &changed;
+            parallel_for(pool, 0..n, cfg, |j| {
+                let p = g_cells[j].load(Ordering::Relaxed);
+                let gp = g_cells[p as usize].load(Ordering::Relaxed);
+                if p != gp {
+                    g_cells[j].store(gp, Ordering::Relaxed);
+                    jumps.incr();
+                    changed_ref.store(true, Ordering::Relaxed);
+                }
+            });
+        }
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+}
+
+/// Renumbers the roots of the star forest `g` densely: returns a leased
+/// buffer whose *root* slots hold `0..n_roots` in ascending root order,
+/// plus the root count. Non-root slots stay uninitialised (the returned
+/// `ScratchVec` keeps len 0) — read root slots through raw pointers only,
+/// exactly as the renumber pass wrote them.
+pub fn renumber_roots<'a>(
+    pool: &ThreadPool,
+    arena: &'a ScratchArena,
+    g: &[u32],
+) -> (ScratchVec<'a, u32>, usize) {
+    let n = g.len();
+    let mut new_id = arena.lease::<u32>(n);
+    let n_roots = {
+        let nid_ptr = SendPtr::new(new_id.as_mut_ptr());
+        count_scan_chunks(
+            pool,
+            n,
+            arena,
+            |r| r.filter(|&v| g[v] == v as u32).count() as u64,
+            |r, base| {
+                let mut k = base;
+                for v in r {
+                    if g[v] == v as u32 {
+                        // SAFETY: root slots are disjoint across chunks
+                        // and written exactly once; non-root slots are
+                        // never touched.
+                        unsafe { *nid_ptr.get().add(v) = k as u32 };
+                        k += 1;
+                    }
+                }
+                k - base
+            },
+        )
+    };
+    (new_id, n_roots)
+}
 
 /// A contracted edge: endpoints in the current (renumbered) vertex space,
 /// the index of the original edge it stands for, and the cached weight
@@ -188,29 +265,7 @@ impl Contraction {
         // Step 2: pointer jumping with relaxed atomics until G is a star
         // forest (the inner LLP instance, Lemma 3/4).
         let jump_span = telemetry::span("pointer-jump");
-        {
-            let g_cells = as_atomic_u32(&mut g);
-            loop {
-                stats.parallel_regions += 1;
-                let changed = AtomicBool::new(false);
-                {
-                    let changed_ref = &changed;
-                    let jumps_ref = &self.jumps;
-                    parallel_for(pool, 0..n_cur, cfg, |j| {
-                        let p = g_cells[j].load(Ordering::Relaxed);
-                        let gp = g_cells[p as usize].load(Ordering::Relaxed);
-                        if p != gp {
-                            g_cells[j].store(gp, Ordering::Relaxed);
-                            jumps_ref.incr();
-                            changed_ref.store(true, Ordering::Relaxed);
-                        }
-                    });
-                }
-                if !changed.load(Ordering::Relaxed) {
-                    break;
-                }
-            }
-        }
+        pointer_jump_to_roots(pool, cfg, &mut g, &self.jumps, stats);
         drop(jump_span);
 
         // Step 3: contract. `g` now maps every vertex to its root.
@@ -220,29 +275,7 @@ impl Contraction {
         // double buffer.
         let _t = telemetry::span("contract");
         let g_ro: &[u32] = &g;
-        let mut new_id = arena.lease::<u32>(n_cur);
-        let n_roots = {
-            let nid_ptr = SendPtr::new(new_id.as_mut_ptr());
-            count_scan_chunks(
-                pool,
-                n_cur,
-                arena,
-                |r| r.filter(|&v| g_ro[v] == v as u32).count() as u64,
-                |r, base| {
-                    let mut k = base;
-                    for v in r {
-                        if g_ro[v] == v as u32 {
-                            // SAFETY: root slots are disjoint across chunks
-                            // and written exactly once; non-root slots are
-                            // never touched.
-                            unsafe { *nid_ptr.get().add(v) = k as u32 };
-                            k += 1;
-                        }
-                    }
-                    k - base
-                },
-            )
-        };
+        let (mut new_id, n_roots) = renumber_roots(pool, arena, g_ro);
         {
             let nid_ptr = SendPtr::new(new_id.as_mut_ptr());
             let work_ref: &[WorkEdge] = &self.work;

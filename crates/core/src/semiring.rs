@@ -1,0 +1,247 @@
+//! The min-plus (tropical) semiring behind the SpMV formulation of the
+//! Borůvka round, stated over the packed MWE words the runtime already
+//! uses for its atomic reductions.
+//!
+//! Baer, Kanakagiri & Solomonik express one Borůvka round as `y = A ⊗ x`
+//! over a select/min semiring: `⊕` picks the smaller of two candidate
+//! edges, `⊗` combines a matrix nonzero (an edge weight) with a vector
+//! entry. Our carrier for `⊕` is the packed `u64` MWE word — weight
+//! discriminant in the high 32 bits, candidate index in the low 32
+//! (see [`llp_runtime::atomics::mwe_pack`]) — so the *same* value both
+//! folds sequentially through [`plus`] and merges concurrently through
+//! [`llp_runtime::atomics::mwe_propose`]; the semiring laws proved here
+//! are exactly what makes the concurrent fold order-insensitive.
+//!
+//! Tie-breaking is the load-bearing part: two candidates can share a
+//! weight discriminant (duplicate weights quantise to the same high 32
+//! bits), so `⊕` falls back to an exact key the caller supplies per
+//! index. As long as that key space is *totally* ordered — the SpMV
+//! backend uses `(EdgeKey, edge id)`, isomorphic to the global canonical
+//! edge order — `⊕` is associative, commutative, and idempotent, and the
+//! argmin every row computes is unique and deterministic regardless of
+//! arc order or thread schedule. The unit tests pin those laws plus the
+//! order isomorphism (satellite: the same invariant the dynamic scoped
+//! recompute relies on).
+
+use llp_runtime::atomics::{mwe_idx, mwe_whi, MWE_EMPTY};
+
+/// The additive identity `0̄` of the min-plus semiring over packed words:
+/// the empty cell, losing `⊕` against every real candidate.
+pub const PLUS_IDENTITY: u64 = MWE_EMPTY;
+
+/// The multiplicative identity of tropical `⊗` (adding a zero-cost hop).
+pub const TIMES_IDENTITY: f64 = 0.0;
+
+/// The annihilator of tropical `⊗` — and the weight meaning "no edge",
+/// which `⊕` treats as maximal.
+pub const ANNIHILATOR: f64 = f64::INFINITY;
+
+/// The semiring addition `a ⊕ b`: keeps whichever packed word denotes the
+/// smaller candidate. The high-32 weight discriminant decides almost every
+/// comparison; on a discriminant tie the caller's `exact_key` (any `Ord`
+/// key over candidate indices) resolves it, and only a *full* tie — equal
+/// exact keys — falls back to keeping `a` (the incumbent), mirroring
+/// [`llp_runtime::atomics::mwe_propose`]. With an injective `exact_key`
+/// that last case only arises for `a == b`, which is what makes `⊕`
+/// genuinely commutative.
+#[inline]
+pub fn plus<K: Ord>(a: u64, b: u64, exact_key: impl Fn(u32) -> K) -> u64 {
+    if b == MWE_EMPTY {
+        return a;
+    }
+    if a == MWE_EMPTY {
+        return b;
+    }
+    let (wa, wb) = (mwe_whi(a), mwe_whi(b));
+    if wa != wb {
+        return if wa < wb { a } else { b };
+    }
+    if a == b || exact_key(mwe_idx(a)) <= exact_key(mwe_idx(b)) {
+        a
+    } else {
+        b
+    }
+}
+
+/// The semiring multiplication `a ⊗ b` over tropical weights: saturating
+/// addition. `TIMES_IDENTITY` (0) is its identity and `ANNIHILATOR` (+∞)
+/// absorbs, which is how "no entry" propagates through a sparse product.
+/// The MSF SpMV only ever multiplies by the identity (selecting an edge
+/// costs its own weight), so this exists to state — and test — the full
+/// semiring, not because the kernel needs a general `⊗`.
+#[inline]
+pub fn times(a: f64, b: f64) -> f64 {
+    a + b
+}
+
+/// Folds a row of candidate words with [`plus`] — the sequential
+/// reference for what a row of the min-plus SpMV computes. The concurrent
+/// kernel must agree with this fold for every permutation of `words`
+/// (pinned by the tests below and by the seq==par proptests).
+pub fn fold_row<K: Ord>(words: impl IntoIterator<Item = u64>, exact_key: impl Fn(u32) -> K) -> u64 {
+    words
+        .into_iter()
+        .fold(PLUS_IDENTITY, |acc, w| plus(acc, w, &exact_key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llp_graph::{Edge, EdgeKey};
+    use llp_runtime::atomics::{as_atomic_u64, mwe_pack, mwe_propose, weight_hi32};
+    use llp_runtime::rng::SmallRng;
+
+    /// Deterministic pseudo-random edge set with plenty of duplicate
+    /// weights (quantised to a handful of values) so discriminant ties are
+    /// the common case, not the exception.
+    fn tie_heavy_edges(seed: u64, n_edges: usize) -> Vec<Edge> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n_edges)
+            .map(|_| {
+                let u = (rng.next_u64() % 50) as u32;
+                let v = (rng.next_u64() % 50) as u32;
+                let w = (rng.next_u64() % 4) as f64 + 1.0;
+                Edge { u, v, w }
+            })
+            .collect()
+    }
+
+    fn words_of(edges: &[Edge]) -> Vec<u64> {
+        edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| mwe_pack(weight_hi32(e.w), i as u32))
+            .collect()
+    }
+
+    /// The exact key the SpMV backend uses: canonical edge key, then edge
+    /// identity — a strict total order over edge *instances*.
+    fn exact(edges: &[Edge]) -> impl Fn(u32) -> (EdgeKey, u32) + '_ {
+        |i: u32| (edges[i as usize].key(), i)
+    }
+
+    #[test]
+    fn plus_identity_laws() {
+        let edges = tie_heavy_edges(1, 64);
+        for &w in &words_of(&edges) {
+            assert_eq!(plus(PLUS_IDENTITY, w, exact(&edges)), w);
+            assert_eq!(plus(w, PLUS_IDENTITY, exact(&edges)), w);
+        }
+        assert_eq!(
+            plus(PLUS_IDENTITY, PLUS_IDENTITY, exact(&edges)),
+            PLUS_IDENTITY
+        );
+    }
+
+    #[test]
+    fn times_identity_and_annihilator_laws() {
+        for w in [0.0, 1.0, 2.5, 1e300] {
+            assert_eq!(times(TIMES_IDENTITY, w), w);
+            assert_eq!(times(w, TIMES_IDENTITY), w);
+            assert_eq!(times(ANNIHILATOR, w), ANNIHILATOR);
+            assert_eq!(times(w, ANNIHILATOR), ANNIHILATOR);
+        }
+        // The annihilator of ⊗ is the identity of ⊕: +∞ packs above every
+        // finite weight discriminant, so it loses every ⊕.
+        let edges = vec![Edge { u: 0, v: 1, w: 1e308 }];
+        let heavy = mwe_pack(weight_hi32(f64::INFINITY), 7);
+        let finite = words_of(&edges)[0];
+        assert_eq!(plus(heavy, finite, |i: u32| i), finite);
+    }
+
+    #[test]
+    fn plus_is_commutative_associative_idempotent() {
+        let edges = tie_heavy_edges(2, 48);
+        let words = words_of(&edges);
+        for &a in &words {
+            assert_eq!(plus(a, a, exact(&edges)), a, "idempotence");
+            for &b in &words {
+                let ab = plus(a, b, exact(&edges));
+                assert_eq!(ab, plus(b, a, exact(&edges)), "commutativity");
+                for &c in &words {
+                    assert_eq!(
+                        plus(ab, c, exact(&edges)),
+                        plus(a, plus(b, c, exact(&edges)), exact(&edges)),
+                        "associativity"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The argmin `⊕` computes is isomorphic to the global `EdgeKey`
+    /// order: for any two distinct candidates, `⊕` picks exactly the one
+    /// whose `(EdgeKey, id)` is smaller — including full-weight duplicate
+    /// edges, where only the id separates them.
+    #[test]
+    fn plus_tie_breaking_is_isomorphic_to_edge_key_order() {
+        let edges = tie_heavy_edges(3, 96);
+        let words = words_of(&edges);
+        let key = exact(&edges);
+        for (i, &a) in words.iter().enumerate() {
+            for (j, &b) in words.iter().enumerate() {
+                let picked = plus(a, b, exact(&edges));
+                let want = if key(i as u32) <= key(j as u32) { a } else { b };
+                assert_eq!(picked, want, "⊕ disagrees with (EdgeKey, id) at ({i}, {j})");
+            }
+        }
+    }
+
+    /// Folding a row with `plus` is order-insensitive and agrees with the
+    /// plain min-by-key over the same candidates.
+    #[test]
+    fn fold_row_matches_min_by_key_under_any_order() {
+        let edges = tie_heavy_edges(4, 40);
+        let words = words_of(&edges);
+        let key = exact(&edges);
+        let want = (0..edges.len() as u32)
+            .min_by_key(|&i| key(i))
+            .map(|i| words[i as usize])
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut shuffled = words.clone();
+        for trial in 0..32 {
+            // Fisher-Yates with the in-repo rng.
+            for i in (1..shuffled.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            assert_eq!(
+                fold_row(shuffled.iter().copied(), exact(&edges)),
+                want,
+                "fold order changed the argmin (trial {trial})"
+            );
+        }
+    }
+
+    /// The sequential `plus` fold and the concurrent CAS-based
+    /// `mwe_propose` accumulation compute the same cell value — the law
+    /// that lets the SpMV kernel merge row fragments from racing chunks.
+    #[test]
+    fn plus_fold_agrees_with_mwe_propose_accumulation() {
+        let edges = tie_heavy_edges(5, 64);
+        let words = words_of(&edges);
+        let key = exact(&edges);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut order: Vec<usize> = (0..words.len()).collect();
+        for trial in 0..16 {
+            for i in (1..order.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let mut cell = [MWE_EMPTY];
+            {
+                let cells = as_atomic_u64(&mut cell);
+                for &i in &order {
+                    let e = &edges[i];
+                    mwe_propose(&cells[0], weight_hi32(e.w), i as u32, &key);
+                }
+            }
+            assert_eq!(
+                cell[0],
+                fold_row(words.iter().copied(), &key),
+                "propose order diverged from the ⊕ fold (trial {trial})"
+            );
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! SpMV-Borůvka: the Borůvka round as sparse linear algebra (the 12th
+//! algorithm), after Baer, Kanakagiri & Solomonik, "Parallel Minimum
+//! Spanning Forest Computation using Sparse Matrix Kernels".
+//!
+//! Where the flat-memory engine in [`crate::contraction`] is
+//! *edge-centric* — every round sweeps an edge list and proposes each edge
+//! to both endpoints — this backend is *row-centric*: the live graph is a
+//! contracted adjacency matrix in CSR form (one row per component, one
+//! stored nonzero per directed arc), and each round computes
+//!
+//! 1. **`y = A ⊗ x` over the min-plus semiring** ([`crate::semiring`]):
+//!    a row-wise argmin. Chunks are claimed over the *arc* space (load
+//!    balance on skewed rows — an RMAT hub row can hold a large fraction
+//!    of all arcs); each chunk locates its starting row by binary search
+//!    on the row offsets and folds candidates into the per-row packed
+//!    [`AtomicU64`](std::sync::atomic::AtomicU64) MWE cell with
+//!    [`mwe_propose`], so row fragments split across chunks merge exactly
+//!    like in-row folds (the `⊕` laws proved in the semiring tests).
+//! 2. **Hook-and-compress**: the argmin column of every row names its
+//!    parent (mutual picks break toward the smaller row id), then the
+//!    shared [`pointer_jump_to_roots`] flattens the pseudoforest.
+//! 3. **SpGEMM-style contraction**: `A' = P^T A P` for the hook matrix
+//!    `P`, realised as a row/col merge — surviving arcs are grouped by
+//!    their *new* row id via [`group_by_key_in`] (the wide-key counting
+//!    distribution; component counts routinely exceed the `u16` class cap
+//!    of `distribute_by_class_in`) while columns are relabelled through
+//!    the dense root renumbering of [`renumber_roots`]. Parallel arcs
+//!    between merged components are kept — only the lighter can ever win
+//!    a cell — and intra-component arcs are dropped.
+//!
+//! All round state lives on leased [`ScratchArena`] buffers and the arc
+//! array is double-buffered, so steady-state rounds allocate nothing
+//! (pinned by `tests/zero_alloc.rs`) and every chunk claim runs through
+//! the chaos scheduler's instrumented cursors.
+//!
+//! ## Determinism
+//!
+//! Ties are resolved by the exact key `(EdgeKey, edge id)` — a strict
+//! total order over undirected edge *instances*, identical for both arc
+//! directions of one edge. That makes every cell's winner unique no
+//! matter how arcs are ordered within a row or interleaved by the
+//! scheduler, which is what the mutual-hook check relies on (duplicate
+//! edges share an `EdgeKey`; comparing by edge id prevents two racing
+//! cells from committing *different* duplicates and forming an undetected
+//! 2-cycle). Consequently round traces and the final forest are
+//! bit-identical across thread counts and chaos schedules.
+
+use crate::contraction::{pointer_jump_to_roots, renumber_roots};
+use crate::result::MstResult;
+use crate::stats::AlgoStats;
+use llp_graph::{CsrGraph, Edge, EdgeKey};
+use llp_runtime::atomics::{as_atomic_u64, mwe_idx, mwe_propose, weight_hi32, MWE_EMPTY};
+use llp_runtime::partition::{compact_map_into, group_by_key_in};
+use llp_runtime::telemetry;
+use llp_runtime::{
+    parallel_for, parallel_for_chunks, Counter, ParallelForConfig, ScratchArena, SendPtr,
+    ThreadPool,
+};
+
+/// One stored nonzero of the contracted adjacency matrix: the column
+/// (neighbouring component), the original-edge identity it stands for,
+/// and the cached weight discriminant so the argmin fast path touches no
+/// other arrays.
+#[derive(Clone, Copy, Debug)]
+struct SpmvArc {
+    col: u32,
+    orig: u32,
+    whi: u32,
+}
+
+/// Per-round snapshot handed to [`spmv_boruvka_par_observed`]'s hook —
+/// the live matrix dimension and nonzero count before the round runs,
+/// plus the forest edges committed so far. Deterministic across thread
+/// counts (the seq==par proptests compare these bit-for-bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpmvRound {
+    /// Round ordinal (0-based; the final snapshot has `round == rounds`).
+    pub round: usize,
+    /// Rows of the live matrix (components not yet merged).
+    pub rows: usize,
+    /// Stored nonzeros (live directed arcs).
+    pub nnz: usize,
+    /// Forest edges committed so far.
+    pub chosen: usize,
+}
+
+/// SpMV-Borůvka; computes the canonical MSF.
+pub fn spmv_boruvka_par(graph: &CsrGraph, pool: &ThreadPool) -> MstResult {
+    spmv_boruvka_par_observed(graph, pool, |_| ())
+}
+
+/// SpMV-Borůvka over a raw undirected edge list (no CSR required — the
+/// initial matrix is assembled by the same grouping pass that rebuilds it
+/// between rounds). Self-loops are ignored; endpoints must be `< n`.
+pub fn spmv_boruvka_from_edges(n: usize, edges: Vec<Edge>, pool: &ThreadPool) -> MstResult {
+    assert!(
+        edges.iter().all(|e| (e.u as usize) < n && (e.v as usize) < n),
+        "edge endpoint out of range"
+    );
+    drive(SpmvState::from_edge_list(n, edges, pool), n, pool, |_| ())
+}
+
+/// [`spmv_boruvka_par`] with a per-round observer: `on_round` fires with
+/// the state snapshot at the top of every round and once more after the
+/// final round (so it sees both the initial and the drained matrix).
+pub fn spmv_boruvka_par_observed<F: FnMut(SpmvRound)>(
+    graph: &CsrGraph,
+    pool: &ThreadPool,
+    on_round: F,
+) -> MstResult {
+    let n = graph.num_vertices();
+    drive(
+        SpmvState::from_edge_list(n, graph.edges().collect(), pool),
+        n,
+        pool,
+        on_round,
+    )
+}
+
+/// Mutable SpMV state threaded through rounds: the CSR matrix (row
+/// offsets + arc array, double-buffered), original edge identities, and
+/// the arena all round state is leased from.
+struct SpmvState {
+    /// Original edges (immutable identities for the final forest).
+    orig_edges: Vec<Edge>,
+    /// Canonical keys of the original edges.
+    keys: Vec<EdgeKey>,
+    /// Row offsets of the live matrix (`n_cur + 1` entries).
+    row_off: Vec<u64>,
+    /// Stored nonzeros, grouped by row.
+    arcs: Vec<SpmvArc>,
+    /// Double buffers for the SpGEMM rebuild; swapped every round.
+    row_off_next: Vec<u64>,
+    arcs_next: Vec<SpmvArc>,
+    /// Rows of the live matrix.
+    n_cur: usize,
+    /// Original-edge indices chosen into the forest so far.
+    chosen: Vec<u32>,
+    /// Pointer-jump assignment counter.
+    jumps: Counter,
+    /// Atomic RMW counter (argmin proposes).
+    rmw: Counter,
+    /// Reusable round-state buffers.
+    arena: ScratchArena,
+}
+
+impl SpmvState {
+    /// Assembles the initial matrix: both arcs of every non-loop edge,
+    /// grouped by source row with the same wide-key counting distribution
+    /// the contraction rebuild uses.
+    fn from_edge_list(n: usize, orig_edges: Vec<Edge>, pool: &ThreadPool) -> Self {
+        let keys: Vec<EdgeKey> = orig_edges.iter().map(Edge::key).collect();
+        let arena = ScratchArena::new();
+        let m2 = orig_edges.len() * 2;
+        let mut row_off = Vec::new();
+        let mut arcs: Vec<SpmvArc> = Vec::with_capacity(m2);
+        {
+            let edges_ref: &[Edge] = &orig_edges;
+            let arcs_ptr = SendPtr::new(arcs.as_mut_ptr());
+            let total = group_by_key_in(
+                pool,
+                &arena,
+                m2,
+                n,
+                &mut row_off,
+                |i| {
+                    let e = edges_ref[i / 2];
+                    (!e.is_self_loop()).then_some(if i % 2 == 0 { e.u } else { e.v })
+                },
+                |i, slot| {
+                    let e = edges_ref[i / 2];
+                    let col = if i % 2 == 0 { e.v } else { e.u };
+                    // SAFETY: slots partition 0..total and `arcs` has
+                    // capacity m2 >= total; each slot written exactly once.
+                    unsafe {
+                        arcs_ptr.get().add(slot).write(SpmvArc {
+                            col,
+                            orig: (i / 2) as u32,
+                            whi: weight_hi32(e.w),
+                        })
+                    };
+                },
+            );
+            // SAFETY: exactly `total` leading slots were initialised.
+            unsafe { arcs.set_len(total) };
+        }
+        SpmvState {
+            orig_edges,
+            keys,
+            row_off,
+            arcs,
+            row_off_next: Vec::new(),
+            arcs_next: Vec::new(),
+            n_cur: n,
+            chosen: Vec::with_capacity(n.saturating_sub(1)),
+            jumps: Counter::new(),
+            rmw: Counter::new(),
+            arena,
+        }
+    }
+
+    /// True when the matrix has no stored nonzeros left.
+    fn is_done(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// One SpMV-Borůvka round: row-wise min-plus argmin, hook-and-compress,
+    /// SpGEMM-style row/col contraction.
+    fn round(&mut self, pool: &ThreadPool, cfg: ParallelForConfig, stats: &mut AlgoStats) {
+        debug_assert!(!self.is_done());
+        stats.rounds += 1;
+        stats.parallel_regions += 6;
+        stats.edges_scanned += self.arcs.len() as u64;
+        let n_cur = self.n_cur;
+        let m = self.arcs.len();
+        let arena = &self.arena;
+        telemetry::record_value("live-vertices", n_cur as u64);
+        telemetry::record_value("live-arcs", m as u64);
+
+        // Step 1: y = A (x) x over min-plus — the row-wise argmin. Work is
+        // chunked over arcs, not rows; a chunk binary-searches its first
+        // row and walks the offsets forward, so a hub row spanning many
+        // chunks is reduced cooperatively through its atomic cell.
+        let mwe_span = telemetry::span("spmv-argmin");
+        let mut best = arena.lease_filled::<u64>(pool, cfg, n_cur, MWE_EMPTY);
+        {
+            let best_cells = as_atomic_u64(&mut best);
+            let row_off: &[u64] = &self.row_off;
+            let arcs_ref: &[SpmvArc] = &self.arcs;
+            let keys_ref: &[EdgeKey] = &self.keys;
+            let rmw_ref = &self.rmw;
+            let exact = |ai: u32| {
+                let o = arcs_ref[ai as usize].orig;
+                (keys_ref[o as usize], o)
+            };
+            parallel_for_chunks(pool, 0..m, cfg, |chunk| {
+                let mut r = row_off.partition_point(|&o| (o as usize) <= chunk.start) - 1;
+                for a in chunk {
+                    while (row_off[r + 1] as usize) <= a {
+                        r += 1;
+                    }
+                    let arc = arcs_ref[a];
+                    mwe_propose(&best_cells[r], arc.whi, a as u32, exact);
+                    rmw_ref.incr();
+                }
+            });
+        }
+        let best_ro: &[u64] = &best;
+        let arcs_ref: &[SpmvArc] = &self.arcs;
+
+        // Step 2a: hook. Every row with a winning arc adopts its argmin
+        // column as parent; empty rows (isolated components) root
+        // themselves. A mutual pick is detected by *edge identity* — the
+        // two cells hold different arc indices (one per direction), so the
+        // packed words differ and only the shared `orig` identifies the
+        // pair; the smaller row id becomes the root.
+        let mut g = arena.lease_init_with::<u32, _>(pool, cfg, n_cur, |v| {
+            let word = best_ro[v];
+            if word == MWE_EMPTY {
+                return v as u32;
+            }
+            let arc = arcs_ref[mwe_idx(word) as usize];
+            let w = arc.col;
+            let ww = best_ro[w as usize];
+            let mutual = ww != MWE_EMPTY && arcs_ref[mwe_idx(ww) as usize].orig == arc.orig;
+            if mutual && (v as u32) < w {
+                v as u32
+            } else {
+                w
+            }
+        });
+
+        // Step 2b: every non-root row's argmin joins the forest (mutual
+        // pairs commit from the non-root side only; otherwise winners of
+        // distinct rows are distinct edges). Emission is in row order —
+        // deterministic.
+        {
+            let g_ro: &[u32] = &g;
+            let mut round_chosen = arena.lease::<u32>(n_cur);
+            compact_map_into(pool, arena, n_cur, &mut round_chosen, |v| {
+                (g_ro[v] != v as u32).then(|| arcs_ref[mwe_idx(best_ro[v]) as usize].orig)
+            });
+            self.chosen.extend_from_slice(&round_chosen);
+        }
+        drop(mwe_span);
+
+        // Step 2c: compress the pseudoforest to stars (shared with the
+        // edge-list engine).
+        let jump_span = telemetry::span("pointer-jump");
+        pointer_jump_to_roots(pool, cfg, &mut g, &self.jumps, stats);
+        drop(jump_span);
+
+        // Step 3: SpGEMM-style contraction. Roots get dense new ids; each
+        // surviving arc (endpoints in different components) is grouped by
+        // its new row id and its column relabelled — one wide-key counting
+        // distribution builds offsets and arc array of A' in place.
+        let _t = telemetry::span("spgemm-contract");
+        let g_ro: &[u32] = &g;
+        let (mut new_id, n_roots) = renumber_roots(pool, arena, g_ro);
+
+        // The source row of every arc, recovered from the row offsets
+        // (rows are contiguous arc ranges, so this is a row-parallel fill).
+        let mut arc_src = arena.lease::<u32>(m);
+        {
+            let src_ptr = SendPtr::new(arc_src.as_mut_ptr());
+            let row_off: &[u64] = &self.row_off;
+            parallel_for(pool, 0..n_cur, cfg, |r| {
+                let lo = row_off[r] as usize;
+                let hi = row_off[r + 1] as usize;
+                for a in lo..hi {
+                    // SAFETY: row ranges partition 0..m; each slot written
+                    // exactly once.
+                    unsafe { *src_ptr.get().add(a) = r as u32 };
+                }
+            });
+            // SAFETY: every slot in 0..m was initialised above.
+            unsafe { arc_src.set_len(m) };
+        }
+
+        self.arcs_next.clear();
+        self.arcs_next.reserve(m);
+        {
+            let nid_ptr = SendPtr::new(new_id.as_mut_ptr());
+            let next_ptr = SendPtr::new(self.arcs_next.as_mut_ptr());
+            let arc_src_ro: &[u32] = &arc_src;
+            let total = group_by_key_in(
+                pool,
+                arena,
+                m,
+                n_roots,
+                &mut self.row_off_next,
+                |a| {
+                    let ru = g_ro[arc_src_ro[a] as usize];
+                    let rv = g_ro[arcs_ref[a].col as usize];
+                    // SAFETY: `ru` is a root, whose slot the renumbering
+                    // initialised.
+                    (ru != rv).then(|| unsafe { *nid_ptr.get().add(ru as usize) })
+                },
+                |a, slot| {
+                    let arc = arcs_ref[a];
+                    let rv = g_ro[arc.col as usize];
+                    // SAFETY: `rv` is a root slot (initialised); output
+                    // slots partition 0..total and `arcs_next` has capacity
+                    // m >= total.
+                    unsafe {
+                        next_ptr.get().add(slot).write(SpmvArc {
+                            col: *nid_ptr.get().add(rv as usize),
+                            orig: arc.orig,
+                            whi: arc.whi,
+                        })
+                    };
+                },
+            );
+            // SAFETY: exactly `total` leading slots were initialised.
+            unsafe { self.arcs_next.set_len(total) };
+        }
+        std::mem::swap(&mut self.arcs, &mut self.arcs_next);
+        std::mem::swap(&mut self.row_off, &mut self.row_off_next);
+        self.n_cur = n_roots;
+    }
+
+    /// Materialises the chosen original edges.
+    fn chosen_edges(&self) -> Vec<Edge> {
+        self.chosen
+            .iter()
+            .map(|&i| self.orig_edges[i as usize])
+            .collect()
+    }
+}
+
+fn drive<F: FnMut(SpmvRound)>(
+    mut s: SpmvState,
+    n: usize,
+    pool: &ThreadPool,
+    mut on_round: F,
+) -> MstResult {
+    let mut stats = AlgoStats::default();
+    let cfg = ParallelForConfig::with_grain(512);
+    let mut round = 0usize;
+    while !s.is_done() {
+        on_round(SpmvRound {
+            round,
+            rows: s.n_cur,
+            nnz: s.arcs.len(),
+            chosen: s.chosen.len(),
+        });
+        s.round(pool, cfg, &mut stats);
+        round += 1;
+    }
+    on_round(SpmvRound {
+        round,
+        rows: s.n_cur,
+        nnz: 0,
+        chosen: s.chosen.len(),
+    });
+    stats.pointer_jumps = s.jumps.get();
+    stats.atomic_rmw = s.rmw.get();
+    s.arena.report_telemetry();
+    let chosen = s.chosen_edges();
+    MstResult::from_edges(n, chosen, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::kruskal;
+    use llp_graph::samples::{fig1, small_forest, FIG1_MST_WEIGHT, SMALL_FOREST_MSF_WEIGHT};
+
+    fn pools() -> Vec<ThreadPool> {
+        vec![ThreadPool::new(1), ThreadPool::new(4)]
+    }
+
+    #[test]
+    fn fig1_matches_paper_trace() {
+        for pool in pools() {
+            let mst = spmv_boruvka_par(&fig1(), &pool);
+            assert_eq!(mst.total_weight, FIG1_MST_WEIGHT);
+            assert_eq!(mst.stats.rounds, 2);
+            let mut ws: Vec<f64> = mst.edges.iter().map(|e| e.w).collect();
+            ws.sort_by(f64::total_cmp);
+            assert_eq!(ws, vec![2.0, 3.0, 4.0, 7.0]);
+        }
+    }
+
+    #[test]
+    fn fig1_round_trace_matches_contraction_semantics() {
+        let pool = ThreadPool::new(2);
+        let mut trace = Vec::new();
+        let _ = spmv_boruvka_par_observed(&fig1(), &pool, |r| trace.push(r));
+        // Round 0 starts with 5 rows and 14 arcs (7 edges, both
+        // directions); round 1 sees components {a,b,c} and {d,e}.
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0], SpmvRound { round: 0, rows: 5, nnz: 14, chosen: 0 });
+        assert_eq!(trace[1].rows, 2);
+        assert_eq!(trace[1].chosen, 3);
+        assert_eq!(trace[2], SpmvRound { round: 2, rows: 1, nnz: 0, chosen: 4 });
+    }
+
+    #[test]
+    fn forest_support() {
+        for pool in pools() {
+            let msf = spmv_boruvka_par(&small_forest(), &pool);
+            assert_eq!(msf.total_weight, SMALL_FOREST_MSF_WEIGHT);
+            assert_eq!(msf.num_trees, 3);
+        }
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for pool in pools() {
+            for seed in 0..6 {
+                let g = llp_graph::generators::erdos_renyi(250, 900, seed);
+                assert_eq!(
+                    spmv_boruvka_par(&g, &pool).canonical_keys(),
+                    kruskal(&g).canonical_keys(),
+                    "seed {seed} threads {}",
+                    pool.threads()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn road_and_rmat_graphs() {
+        let pool = ThreadPool::new(4);
+        let road = llp_graph::generators::road_network(
+            llp_graph::generators::RoadParams::usa_like(25, 25, 3),
+        );
+        assert_eq!(
+            spmv_boruvka_par(&road, &pool).canonical_keys(),
+            kruskal(&road).canonical_keys()
+        );
+        let rmat = llp_graph::generators::rmat(llp_graph::generators::RmatParams::graph500(
+            9, 8, 4,
+        ));
+        assert_eq!(
+            spmv_boruvka_par(&rmat, &pool).canonical_keys(),
+            kruskal(&rmat).canonical_keys()
+        );
+    }
+
+    #[test]
+    fn edge_list_entry_matches_csr_entry() {
+        let pool = ThreadPool::new(2);
+        for seed in 0..4 {
+            let g = llp_graph::generators::erdos_renyi(150, 500, seed);
+            let edges: Vec<llp_graph::Edge> = g.edges().collect();
+            let via_csr = spmv_boruvka_par(&g, &pool);
+            let via_edges = spmv_boruvka_from_edges(g.num_vertices(), edges, &pool);
+            assert_eq!(via_csr.canonical_keys(), via_edges.canonical_keys());
+        }
+    }
+
+    #[test]
+    fn edge_list_entry_skips_self_loops() {
+        let pool = ThreadPool::new(1);
+        let edges = vec![
+            llp_graph::Edge::new(0, 0, 1.0), // self loop: ignored
+            llp_graph::Edge::new(0, 1, 2.0),
+            llp_graph::Edge::new(1, 2, 3.0),
+        ];
+        let msf = spmv_boruvka_from_edges(3, edges, &pool);
+        assert_eq!(msf.total_weight, 5.0);
+        assert_eq!(msf.num_trees, 1);
+    }
+
+    #[test]
+    fn duplicate_edges_with_identical_weights_stay_canonical() {
+        // The regression the (EdgeKey, edge id) tie-break exists for: two
+        // racing cells must never commit *different* copies of a duplicate
+        // edge (that would form an undetected 2-cycle in the hook forest).
+        let pool = ThreadPool::new(4);
+        for seed in 0..8u64 {
+            let mut rng = llp_runtime::rng::SmallRng::seed_from_u64(seed);
+            let n = 40usize;
+            let mut edges = Vec::new();
+            for _ in 0..160 {
+                let u = (rng.next_u64() % n as u64) as u32;
+                let v = (rng.next_u64() % n as u64) as u32;
+                let w = (rng.next_u64() % 3) as f64 + 1.0;
+                edges.push(llp_graph::Edge::new(u, v, w));
+                if rng.next_u64().is_multiple_of(4) {
+                    edges.push(llp_graph::Edge::new(u, v, w)); // exact duplicate
+                }
+            }
+            let spmv = spmv_boruvka_from_edges(n, edges.clone(), &pool);
+            let llp = crate::llp_boruvka::llp_boruvka_from_edges(n, edges, &pool);
+            assert_eq!(spmv.canonical_keys(), llp.canonical_keys(), "seed {seed}");
+            assert_eq!(spmv.total_weight, llp.total_weight, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_list_entry_rejects_bad_endpoints() {
+        let pool = ThreadPool::new(1);
+        let _ = spmv_boruvka_from_edges(2, vec![llp_graph::Edge::new(0, 5, 1.0)], &pool);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let pool = ThreadPool::new(2);
+        let r = spmv_boruvka_par(&CsrGraph::empty(3), &pool);
+        assert!(r.edges.is_empty());
+        assert_eq!(r.num_trees, 3);
+        assert_eq!(r.stats.rounds, 0);
+    }
+
+    #[test]
+    fn rounds_shrink_geometrically() {
+        let g = llp_graph::generators::path(4096, 8);
+        let pool = ThreadPool::new(2);
+        let mst = spmv_boruvka_par(&g, &pool);
+        assert_eq!(mst.edges.len(), 4095);
+        assert!(mst.stats.rounds <= 13, "rounds = {}", mst.stats.rounds);
+    }
+
+    #[test]
+    fn observer_sees_every_round_boundary() {
+        let pool = ThreadPool::new(2);
+        let g = llp_graph::generators::erdos_renyi(500, 2500, 5);
+        let mut trace = Vec::new();
+        let r = spmv_boruvka_par_observed(&g, &pool, |s| trace.push(s));
+        assert_eq!(trace.len() as u64, r.stats.rounds + 1);
+        assert_eq!(trace.last().unwrap().nnz, 0);
+        assert_eq!(trace.last().unwrap().chosen, r.edges.len());
+        // Rows and nonzeros shrink strictly between rounds.
+        for pair in trace.windows(2) {
+            assert!(pair[1].rows < pair[0].rows);
+            assert!(pair[1].nnz < pair[0].nnz);
+        }
+    }
+
+    #[test]
+    fn steady_state_rounds_do_not_grow_the_arena() {
+        let g = llp_graph::generators::erdos_renyi(3000, 20_000, 7);
+        let pool = ThreadPool::new(4);
+        let mut s = SpmvState::from_edge_list(g.num_vertices(), g.edges().collect(), &pool);
+        let mut stats = AlgoStats::default();
+        let cfg = ParallelForConfig::with_grain(256);
+        s.round(&pool, cfg, &mut stats);
+        let footprint = s.arena.footprint_bytes();
+        let caps = s.arcs.capacity().max(s.arcs_next.capacity());
+        while !s.is_done() {
+            s.round(&pool, cfg, &mut stats);
+            assert_eq!(s.arena.footprint_bytes(), footprint, "arena grew after round 1");
+            assert_eq!(
+                s.arcs.capacity().max(s.arcs_next.capacity()),
+                caps,
+                "double buffer reallocated after round 1"
+            );
+        }
+        assert!(s.arena.reuse_count() > 0);
+    }
+}

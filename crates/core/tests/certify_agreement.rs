@@ -8,7 +8,7 @@ use llp_graph::generators::{erdos_renyi, random_geometric, road_network, RoadPar
 use llp_graph::{CsrGraph, Edge};
 use llp_mst::prelude::{
     certify_msf, certify_msf_par, filter_kruskal_par, filter_kruskal_par_with_base_case, kruskal,
-    verify_msf,
+    spmv_boruvka_par, verify_msf,
 };
 use llp_mst::{AlgoStats, MstResult};
 use llp_runtime::rng::SmallRng;
@@ -114,6 +114,75 @@ fn filter_kruskal_par_certifies_and_rejects_mutations_under_chaos_seeds() {
                 }
                 let n = g.num_vertices();
                 let mut rng = SmallRng::seed_from_u64(chaos_seed * 101 + seed * 31 + gi as u64);
+                let i = rng.gen_range(0usize..msf.edges.len());
+
+                let mut edges = msf.edges.clone();
+                edges.remove(i);
+                let dropped = forest(n, edges);
+                assert!(verify_msf(&g, &dropped).is_err(), "oracle/drop {chaos_seed}/{seed}/{gi}");
+                assert!(
+                    certify_msf(&g, &dropped).is_err(),
+                    "certify/drop {chaos_seed}/{seed}/{gi}"
+                );
+
+                let mut edges = msf.edges.clone();
+                edges[i].w += 0.5;
+                let heavier = forest(n, edges);
+                assert!(
+                    verify_msf(&g, &heavier).is_err(),
+                    "oracle/heavy {chaos_seed}/{seed}/{gi}"
+                );
+                assert!(
+                    certify_msf(&g, &heavier).is_err(),
+                    "certify/heavy {chaos_seed}/{seed}/{gi}"
+                );
+
+                let mut edges = msf.edges.clone();
+                edges.push(edges[i]);
+                let cyclic = forest(n, edges);
+                assert!(
+                    verify_msf(&g, &cyclic).is_err(),
+                    "oracle/cycle {chaos_seed}/{seed}/{gi}"
+                );
+                assert!(
+                    certify_msf(&g, &cyclic).is_err(),
+                    "certify/cycle {chaos_seed}/{seed}/{gi}"
+                );
+            }
+        }
+        chaos::set_seed(None);
+    }
+}
+
+#[test]
+fn spmv_boruvka_certifies_and_rejects_mutations_under_chaos_seeds() {
+    // Same matrix for the SpMV backend: its row-argmin chunk claims and
+    // grouped contraction scatters run under every chaos seed; genuine
+    // outputs are accepted by oracle and certifier and agree with the
+    // Kruskal-family forest, mutated ones are rejected by both.
+    let pool = ThreadPool::new(4);
+    for chaos_seed in [1u64, 2, 3, 4] {
+        chaos::set_seed(Some(chaos_seed));
+        for seed in 0..4u64 {
+            for (gi, g) in graphs(seed).into_iter().enumerate() {
+                let msf = spmv_boruvka_par(&g, &pool);
+                assert_eq!(
+                    msf.canonical_keys(),
+                    filter_kruskal_par(&g, &pool).canonical_keys(),
+                    "cross-family agreement {chaos_seed}/{seed}/{gi}"
+                );
+                verify_msf(&g, &msf)
+                    .unwrap_or_else(|e| panic!("oracle {chaos_seed}/{seed}/{gi}: {e}"));
+                certify_msf(&g, &msf)
+                    .unwrap_or_else(|e| panic!("certify {chaos_seed}/{seed}/{gi}: {e}"));
+                certify_msf_par(&g, &msf, &pool)
+                    .unwrap_or_else(|e| panic!("certify_par {chaos_seed}/{seed}/{gi}: {e}"));
+
+                if msf.edges.is_empty() {
+                    continue;
+                }
+                let n = g.num_vertices();
+                let mut rng = SmallRng::seed_from_u64(chaos_seed * 131 + seed * 37 + gi as u64);
                 let i = rng.gen_range(0usize..msf.edges.len());
 
                 let mut edges = msf.edges.clone();

@@ -1,0 +1,175 @@
+//! Property-style tests for the SpMV-Borůvka backend: seed sweeps over
+//! adversarial random inputs (disconnected forests, tie-heavy duplicate
+//! weights, self-loops and parallel edges) cross-checked against
+//! `filter_kruskal_par` and the oracle-free certifier, plus the
+//! determinism property the algebraic formulation promises — sequential
+//! and parallel runs produce *bit-identical* round traces and forests.
+//! Cases are deterministic sweeps over [`llp_runtime::rng::SmallRng`]
+//! (hermetic builds cannot depend on `proptest`).
+
+use llp_graph::generators::{barabasi_albert, erdos_renyi, random_geometric};
+use llp_graph::{Edge, GraphBuilder};
+use llp_mst::certify::certify_msf_par;
+use llp_mst::prelude::{
+    filter_kruskal_par, spmv_boruvka_from_edges, spmv_boruvka_par, spmv_boruvka_par_observed,
+    SpmvRound,
+};
+use llp_runtime::rng::SmallRng;
+use llp_runtime::ThreadPool;
+
+const CASES: u64 = 48;
+
+/// Raw multigraph edge list: self-loops, exact-duplicate parallel edges,
+/// and weights quantised to a handful of values so discriminant ties are
+/// the common case. Returns `(n, edges)`.
+fn adversarial_edges(seed: u64) -> (usize, Vec<Edge>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(2usize..120);
+    let m = rng.gen_range(0usize..400);
+    let mut edges = Vec::with_capacity(m + m / 4);
+    for _ in 0..m {
+        let u = rng.gen_range(0u32..n as u32);
+        // 1 in 8 edges is a self-loop — the backend must drop them.
+        let v = if rng.gen_range(0u32..8) == 0 {
+            u
+        } else {
+            rng.gen_range(0u32..n as u32)
+        };
+        let w = rng.gen_range(1u32..5) as f64;
+        edges.push(Edge { u, v, w });
+        // 1 in 4 edges is duplicated verbatim — a parallel edge with the
+        // identical weight, separable only by edge identity.
+        if rng.gen_range(0u32..4) == 0 {
+            edges.push(Edge { u, v, w });
+        }
+    }
+    (n, edges)
+}
+
+/// The sanitised CSR view of a raw multigraph (self-loops dropped,
+/// parallel edges collapsed to the canonical minimum) — same MSF.
+fn sanitised(n: usize, edges: &[Edge]) -> llp_graph::CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for e in edges {
+        b.add_edge(e.u, e.v, e.w);
+    }
+    b.build()
+}
+
+#[test]
+fn spmv_matches_filter_kruskal_on_adversarial_multigraphs() {
+    let pool = ThreadPool::new(4);
+    for seed in 0..CASES {
+        let (n, edges) = adversarial_edges(seed);
+        let g = sanitised(n, &edges);
+        let oracle = filter_kruskal_par(&g, &pool);
+        // The backend consumes the raw multigraph; self-loops can never be
+        // tree edges and of parallel duplicates either instance has the
+        // same canonical key, so the forests must agree exactly.
+        let r = spmv_boruvka_from_edges(n, edges, &pool);
+        assert_eq!(r.canonical_keys(), oracle.canonical_keys(), "seed {seed}");
+        assert_eq!(r.num_trees, oracle.num_trees, "seed {seed}");
+        assert_eq!(r.total_weight, oracle.total_weight, "seed {seed}");
+        certify_msf_par(&g, &r, &pool).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+    }
+}
+
+#[test]
+fn spmv_matches_filter_kruskal_on_disconnected_forests() {
+    // m ~ n/2 .. 2n: almost every instance is a forest of many trees, so
+    // rounds hit components that finish early and rows that empty out.
+    let pool = ThreadPool::new(4);
+    let mut forests = 0;
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5f5f);
+        let n = rng.gen_range(4usize..400);
+        let m = rng.gen_range(n / 2..2 * n);
+        let g = erdos_renyi(n, m, seed);
+        let oracle = filter_kruskal_par(&g, &pool);
+        let r = spmv_boruvka_par(&g, &pool);
+        assert_eq!(r.canonical_keys(), oracle.canonical_keys(), "seed {seed}");
+        assert_eq!(r.num_trees, oracle.num_trees, "seed {seed}");
+        if r.num_trees > 1 {
+            forests += 1;
+        }
+        certify_msf_par(&g, &r, &pool).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+    }
+    assert!(
+        forests * 2 > CASES as usize,
+        "sweep lost its point: only {forests}/{CASES} cases were disconnected"
+    );
+}
+
+#[test]
+fn spmv_matches_filter_kruskal_on_generator_families() {
+    // Structured families the sweep binary also uses: hub-heavy
+    // preferential attachment and (possibly disconnected) geometric
+    // graphs — skewed and near-planar row-degree distributions.
+    let pool = ThreadPool::new(4);
+    for seed in 0..6u64 {
+        let ba = barabasi_albert(800, 3, seed);
+        let rgg = random_geometric(600, (4.0 / 600.0f64).sqrt(), seed);
+        for (name, g) in [("ba", &ba), ("rgg", &rgg)] {
+            let oracle = filter_kruskal_par(g, &pool);
+            let r = spmv_boruvka_par(g, &pool);
+            assert_eq!(r.canonical_keys(), oracle.canonical_keys(), "{name}, seed {seed}");
+            assert_eq!(r.num_trees, oracle.num_trees, "{name}, seed {seed}");
+            certify_msf_par(g, &r, &pool)
+                .unwrap_or_else(|e| panic!("{name}, seed {seed}: {e:?}"));
+        }
+    }
+}
+
+#[test]
+fn sequential_and_parallel_round_traces_are_bit_identical() {
+    // The algebraic backend's determinism claim: because ⊕ is
+    // order-insensitive (semiring tests) the per-round trace — live rows,
+    // live arcs, edges chosen — and the final forest are identical under
+    // any thread schedule, not merely weight-equal.
+    let seq_pool = ThreadPool::new(1);
+    let par_pool = ThreadPool::new(4);
+    for seed in 0..24u64 {
+        let (n, edges) = adversarial_edges(seed ^ 0xabcd);
+        let g = sanitised(n, &edges);
+        let mut seq_trace: Vec<SpmvRound> = Vec::new();
+        let mut par_trace: Vec<SpmvRound> = Vec::new();
+        let seq = spmv_boruvka_par_observed(&g, &seq_pool, |r| seq_trace.push(r));
+        let par = spmv_boruvka_par_observed(&g, &par_pool, |r| par_trace.push(r));
+        assert_eq!(seq_trace, par_trace, "seed {seed}: round traces diverged");
+        assert_eq!(
+            seq.canonical_keys(),
+            par.canonical_keys(),
+            "seed {seed}: forests diverged"
+        );
+        // Bit-identical, not approximately equal: the same edges summed in
+        // canonical order on both sides.
+        assert_eq!(
+            seq.total_weight.to_bits(),
+            par.total_weight.to_bits(),
+            "seed {seed}: total weights not bit-identical"
+        );
+        assert_eq!(seq.stats.rounds, par.stats.rounds, "seed {seed}");
+    }
+}
+
+#[test]
+fn round_trace_is_stable_across_repeat_runs() {
+    // Same pool, same graph, many runs: the trace is a pure function of
+    // the input, so repeats must reproduce it exactly (this is what the
+    // chaos matrix perturbs schedules against).
+    let pool = ThreadPool::new(4);
+    let g = erdos_renyi(1000, 3000, 17);
+    let mut first: Option<(Vec<SpmvRound>, Vec<llp_graph::EdgeKey>)> = None;
+    for run in 0..8 {
+        let mut trace = Vec::new();
+        let r = spmv_boruvka_par_observed(&g, &pool, |s| trace.push(s));
+        let keys = r.canonical_keys();
+        match &first {
+            None => first = Some((trace, keys)),
+            Some((t0, k0)) => {
+                assert_eq!(&trace, t0, "run {run}: trace diverged");
+                assert_eq!(&keys, k0, "run {run}: forest diverged");
+            }
+        }
+    }
+}

@@ -37,6 +37,7 @@ fn all_algorithms_certify_under_chaos_seeds() {
                 ("boruvka_seq", boruvka_seq(g)),
                 ("boruvka_par", boruvka_par(g, &pool)),
                 ("llp_boruvka", llp_boruvka(g, &pool)),
+                ("spmv_boruvka_par", spmv_boruvka_par(g, &pool)),
                 ("prim_lazy", prim_lazy(g, 0).unwrap()),
                 ("prim_indexed", prim_indexed(g, 0).unwrap()),
                 ("llp_prim_seq", llp_prim_seq(g, 0).unwrap()),
