@@ -73,6 +73,10 @@ pub struct RunRecord {
     /// Whether the instrumented run's output passed the oracle-free
     /// near-linear MSF certifier ([`llp_mst::certify::certify_msf_par`]).
     pub certified: bool,
+    /// Process peak RSS in bytes after the run
+    /// ([`telemetry::peak_rss_bytes`]); `None` off-Linux. A process-level
+    /// high-water mark: it only rises across records of one process.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// Like [`time_algorithm`], additionally executing one extra run with
@@ -111,6 +115,7 @@ pub fn time_algorithm_with_report(
         sample,
         telemetry: report,
         certified,
+        peak_rss_bytes: telemetry::peak_rss_bytes(),
     }
 }
 
@@ -220,10 +225,14 @@ fn stats_json(s: &AlgoStats) -> String {
 /// metrics + the embedded telemetry report.
 pub fn record_json(r: &RunRecord) -> String {
     let s = &r.sample;
+    let peak_rss = match r.peak_rss_bytes {
+        Some(b) => b.to_string(),
+        None => "null".into(),
+    };
     format!(
         "{{\"algorithm\":\"{}\",\"workload\":\"{}\",\"threads\":{},\
          \"median_ms\":{:.6},\"min_ms\":{:.6},\"total_weight\":{:.6},\
-         \"certified\":{},\"stats\":{},\"telemetry\":{}}}",
+         \"certified\":{},\"peak_rss_bytes\":{},\"stats\":{},\"telemetry\":{}}}",
         json_escape(s.algo.label()),
         json_escape(&s.workload),
         s.threads,
@@ -231,6 +240,7 @@ pub fn record_json(r: &RunRecord) -> String {
         s.min_ms,
         s.total_weight,
         r.certified,
+        peak_rss,
         stats_json(&s.stats),
         r.telemetry.to_json(),
     )
@@ -247,6 +257,7 @@ pub fn record_json(r: &RunRecord) -> String {
 ///       "algorithm": "...", "workload": "...", "threads": 1,
 ///       "median_ms": 1.5, "min_ms": 1.4, "total_weight": 16.0,
 ///       "certified": true,
+///       "peak_rss_bytes": 20971520,
 ///       "stats": { "heap_pushes": 0, ... },
 ///       "telemetry": { "enabled": true, "phases": [...],
 ///                      "series": [...], "counters": {...} }
@@ -341,6 +352,11 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("{\"schema\":\"llp-mst-run-report/v1\""));
         assert!(text.contains("\"certified\":true"));
+        assert!(text.contains("\"peak_rss_bytes\":"));
+        if cfg!(target_os = "linux") {
+            // The gauge is live on Linux: a real byte count, never null.
+            assert!(!text.contains("\"peak_rss_bytes\":null"));
+        }
         assert!(text.contains("\"stats\":{\"heap_pushes\""));
         assert!(text.contains("\"telemetry\":{\"enabled\""));
         // Balanced braces/brackets outside of strings (no strings here

@@ -23,4 +23,4 @@ pub mod workloads;
 
 pub use algorithms::{run_algorithm, Algorithm};
 pub use harness::{format_table, time_algorithm, Measurement, Sample};
-pub use workloads::{Scale, Workload, WorkloadKind};
+pub use workloads::{stream_to_binary, Scale, StreamKind, StreamedFile, Workload, WorkloadKind};

@@ -9,10 +9,14 @@
 //! so dropping the authentic `USA-road-d.USA.gr` next to the harness
 //! reproduces on the paper's exact dataset.
 
-use llp_graph::generators::{rmat, road_network, RmatParams, RoadParams};
-use llp_graph::io::read_dimacs;
+use llp_graph::generators::{
+    erdos_renyi_stream, rmat, rmat_stream, road_network, RmatParams, RoadParams,
+    DEFAULT_CHUNK_EDGES,
+};
+use llp_graph::io::{read_dimacs, BinaryWriter};
 use llp_graph::{CsrGraph, EdgeKey, VertexId};
 use std::io::BufRead;
+use std::path::Path;
 
 /// Workload family, matching Table I's "Type" column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +142,92 @@ impl Workload {
     }
 }
 
+/// Generator family for [`stream_to_binary`]. Separate from
+/// [`WorkloadKind`] because the streamable families are the sampled ones
+/// (RMAT, Erdős–Rényi); the road grid is built structurally and stays an
+/// in-RAM workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Graph500-style Kronecker sample.
+    Rmat,
+    /// G(n, m) uniform sample.
+    ErdosRenyi,
+}
+
+impl StreamKind {
+    /// Parses `rmat` / `er`.
+    pub fn parse(s: &str) -> Option<StreamKind> {
+        match s {
+            "rmat" => Some(StreamKind::Rmat),
+            "er" => Some(StreamKind::ErdosRenyi),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StreamKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamKind::Rmat => write!(f, "rmat"),
+            StreamKind::ErdosRenyi => write!(f, "er"),
+        }
+    }
+}
+
+/// Shape of a file written by [`stream_to_binary`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamedFile {
+    /// Vertex-id domain (`2^scale`).
+    pub num_vertices: u64,
+    /// Edge records written (self-loops are discarded at the source, so
+    /// slightly below `edge_factor · 2^scale`).
+    pub num_edges: u64,
+    /// On-disk size, header included.
+    pub file_bytes: u64,
+}
+
+/// Streams a sampled workload straight to `path` in the on-disk binary
+/// format, holding at most `chunk_edges` edges (16 B each) in memory.
+///
+/// The in-RAM generators materialize the full edge list and then the CSR
+/// — ~3× the file size in peak RAM — which is exactly what the
+/// out-of-core pipeline cannot afford; this path keeps the generator's
+/// footprint at the chunk size no matter the scale. The streams draw
+/// from the same seeded RNG sequence as the in-RAM twins, so the file
+/// read back through the sanitising readers equals the in-RAM graph for
+/// the same parameters. Pass `chunk_edges = 0` for the default
+/// ([`DEFAULT_CHUNK_EDGES`], ~16 MiB).
+pub fn stream_to_binary(
+    path: &Path,
+    kind: StreamKind,
+    scale: u32,
+    edge_factor: usize,
+    seed: u64,
+    chunk_edges: usize,
+) -> Result<StreamedFile, String> {
+    let n = 1u64 << scale;
+    let chunk_edges = if chunk_edges == 0 { DEFAULT_CHUNK_EDGES } else { chunk_edges };
+    let file = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut w = BinaryWriter::new(std::io::BufWriter::new(file), n as usize)
+        .map_err(|e| e.to_string())?;
+    let sink = |chunk: &[llp_graph::Edge]| -> std::io::Result<()> {
+        w.write_edges(chunk).map_err(|e| std::io::Error::other(e.to_string()))
+    };
+    match kind {
+        StreamKind::Rmat => {
+            rmat_stream(RmatParams::graph500(scale, edge_factor, seed), chunk_edges, sink)
+        }
+        StreamKind::ErdosRenyi => {
+            erdos_renyi_stream(n as usize, edge_factor as u64 * n, seed, chunk_edges, sink)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    let (buf, m) = w.finish().map_err(|e| e.to_string())?;
+    buf.into_inner().map_err(|e| e.to_string())?;
+    let file_bytes = std::fs::metadata(path).map_err(|e| e.to_string())?.len();
+    Ok(StreamedFile { num_vertices: n, num_edges: m, file_bytes })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +263,37 @@ mod tests {
         assert_eq!(Scale::parse("small"), Some(Scale::Small));
         assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn streamed_file_equals_in_ram_generator() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("llp-bench-stream-{}.bin", std::process::id()));
+        let info = stream_to_binary(&path, StreamKind::Rmat, 8, 8, 9, 100).unwrap();
+        assert_eq!(info.num_vertices, 1 << 8);
+        assert_eq!(info.file_bytes, 28 + 16 * info.num_edges);
+        let f = std::fs::File::open(&path).unwrap();
+        let g = llp_graph::io::read_binary_seek(std::io::BufReader::new(f)).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(g, llp_graph::generators::rmat(RmatParams::graph500(8, 8, 9)));
+    }
+
+    #[test]
+    fn streamed_er_equals_in_ram_generator() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("llp-bench-stream-er-{}.bin", std::process::id()));
+        stream_to_binary(&path, StreamKind::ErdosRenyi, 7, 4, 3, 0).unwrap();
+        let f = std::fs::File::open(&path).unwrap();
+        let g = llp_graph::io::read_binary_seek(std::io::BufReader::new(f)).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(g, llp_graph::generators::erdos_renyi(1 << 7, 4 << 7, 3));
+    }
+
+    #[test]
+    fn stream_kind_parses() {
+        assert_eq!(StreamKind::parse("rmat"), Some(StreamKind::Rmat));
+        assert_eq!(StreamKind::parse("er"), Some(StreamKind::ErdosRenyi));
+        assert_eq!(StreamKind::parse("road"), None);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod parallel_boruvka;
 pub mod prim;
 pub mod result;
 pub mod semiring;
+pub mod sharded;
 pub mod spec;
 pub mod spmv_boruvka;
 pub mod stats;
@@ -79,6 +80,9 @@ pub mod prelude {
     pub use crate::stats::AlgoStats;
     pub use crate::certify::{certify_against, certify_msf, certify_msf_par};
     pub use crate::dynamic::{DynamicError, DynamicMsf, EpochReport};
+    pub use crate::sharded::{
+        sharded_msf_file, sharded_msf_graph, ShardedConfig, ShardedError, ShardedRun,
+    };
     pub use crate::index::PathMaxIndex;
     pub use crate::tree::RootedForest;
     pub use crate::verify::{verify_cut_property, verify_cycle_property, verify_forest_structure, verify_msf};

@@ -1,0 +1,594 @@
+//! Out-of-core sharded Borůvka-filter: certified MSF over graphs bigger
+//! than RAM.
+//!
+//! Every other backend in this crate materializes the full edge list.
+//! This module computes the canonical MSF of a graph stored in the binary
+//! on-disk format while holding only a bounded number of edges resident,
+//! following the Borůvka-filter shape of Sanders & Schimek's massively
+//! parallel MST engineering (partition edges → contract locally → filter
+//! against global component structure → merge):
+//!
+//! 1. **Shard.** The edge file is cut into fixed-size record ranges and
+//!    streamed through [`llp_graph::io::read_binary_range`] by a reader
+//!    thread, with at most `read_ahead + 1` shards resident at once.
+//! 2. **Contract locally.** Each shard's touched vertices are densely
+//!    renumbered in ascending global order (a monotone relabeling keeps
+//!    the local [`llp_graph::EdgeKey`] order isomorphic to the global
+//!    one, so the local canonical MSF is the canonical restriction even
+//!    under duplicate weights — the same argument `dynamic` uses for its
+//!    scoped re-runs), then run to exhaustion through the flat-memory
+//!    contraction engine ([`crate::contraction::Contraction`]), reusing
+//!    one scratch arena across shards. At most `n_shard − 1` candidate
+//!    edges survive per shard.
+//! 3. **Filter.** A candidate `e` is discarded — before the merge ever
+//!    sees it — iff its endpoints are already connected by the
+//!    accumulated forest *and* `e.key()` is strictly heavier than every
+//!    accumulated key (`e.key() > max(acc)`): the cycle property then
+//!    rules `e` out of the global MSF using only strictly lighter edges.
+//!    Connectivity is answered by a shared
+//!    [`crate::union_find::ConcurrentUnionFind`] swept in parallel, the
+//!    Filter-Kruskal discard rule applied across shards.
+//! 4. **Merge.** Surviving candidates (key-sorted) are two-pointer merged
+//!    with the accumulated forest into a Kruskal scan over a fresh
+//!    union-find: `MSF(A ∪ B) = MSF(MSF(A) ∪ MSF(B))` under the strict
+//!    key order, so the accumulator is always the canonical MSF of every
+//!    edge streamed so far — an accumulated edge can still be evicted by
+//!    a lighter edge from a later shard.
+//!
+//! The optional certification pass re-streams the file and checks every
+//! record against a [`PathMaxIndex`] of the final forest — the same cycle
+//! property sweep as [`crate::certify::certify_msf_par`], but without
+//! ever building an in-RAM [`CsrGraph`]: violations are classified
+//! exactly like the in-RAM certifier, and per-tree-edge match bits
+//! (instead of a match count) make the foreign-edge check robust to the
+//! duplicate records a raw streamed file may contain.
+
+use crate::contraction::Contraction;
+use crate::index::{key_bits, PathMaxIndex, INF_KEY};
+use crate::result::MstResult;
+use crate::stats::AlgoStats;
+use crate::union_find::{ConcurrentUnionFind, UnionFind};
+use crate::verify::VerifyError;
+use llp_graph::io::{read_binary_range, write_binary, IoError};
+use llp_graph::{CsrGraph, Edge, EdgeKey};
+use llp_runtime::sort::par_sort_by_key;
+use llp_runtime::sync::Mutex;
+use llp_runtime::{
+    parallel_for_chunks, partition::retain_parallel, telemetry, ParallelForConfig, ScratchArena,
+    ThreadPool,
+};
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+
+/// Tuning knobs for [`sharded_msf_file`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedConfig {
+    /// Maximum edge records per shard. The build's transient memory is
+    /// roughly `64 B × shard_edges` (contraction buffers) plus the
+    /// read-ahead shards at 16 B per record.
+    pub shard_edges: usize,
+    /// Re-stream the file after the build and certify the result
+    /// end-to-end against a [`PathMaxIndex`] of the forest.
+    pub certify: bool,
+    /// Shards the reader thread may buffer ahead of the consumer; total
+    /// resident shards are bounded by `read_ahead + 1`.
+    pub read_ahead: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shard_edges: 1 << 24,
+            certify: true,
+            read_ahead: 1,
+        }
+    }
+}
+
+/// Everything a run produced, for reports and gates.
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// Vertex count from the file header.
+    pub num_vertices: usize,
+    /// Edge records in the file (the raw multiset, pre-dedup).
+    pub num_edges: u64,
+    /// Shards the file was cut into.
+    pub shards: usize,
+    /// The canonical minimum spanning forest.
+    pub result: MstResult,
+    /// Whether the certification pass ran (and therefore passed — a
+    /// failed certification is an error, never a silent flag).
+    pub certified: bool,
+    /// Local MSF candidates produced by per-shard contraction.
+    pub candidate_edges: u64,
+    /// Candidates discarded by the cross-shard Filter-Kruskal rule
+    /// before the merge scan saw them.
+    pub filtered_edges: u64,
+}
+
+/// A sharded run failed: either the file is unreadable/corrupt, or the
+/// certification pass rejected the forest.
+#[derive(Debug)]
+pub enum ShardedError {
+    /// Reading or parsing the binary edge file failed.
+    Io(IoError),
+    /// The certification sweep rejected the computed forest.
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for ShardedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedError::Io(e) => write!(f, "sharded msf: {e}"),
+            ShardedError::Verify(e) => write!(f, "sharded msf failed certification: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardedError {}
+
+impl From<IoError> for ShardedError {
+    fn from(e: IoError) -> Self {
+        ShardedError::Io(e)
+    }
+}
+
+impl From<VerifyError> for ShardedError {
+    fn from(e: VerifyError) -> Self {
+        ShardedError::Verify(e)
+    }
+}
+
+/// Spawns a reader thread streaming the file's shards in order through a
+/// bounded channel: at most `read_ahead` shards queue ahead of the one
+/// the consumer holds. The reader owns its own file handle, so disk
+/// latency overlaps shard `s`'s compute with shard `s+1`'s read.
+fn stream_shards(
+    path: &Path,
+    total_edges: u64,
+    shard_edges: usize,
+    read_ahead: usize,
+) -> Receiver<Result<Vec<Edge>, IoError>> {
+    let (tx, rx) = sync_channel(read_ahead.max(1));
+    let path: PathBuf = path.to_path_buf();
+    let step = shard_edges.max(1) as u64;
+    std::thread::spawn(move || {
+        let mut file = match std::fs::File::open(&path) {
+            Ok(f) => BufReader::new(f),
+            Err(e) => {
+                let _ = tx.send(Err(IoError::Io(e)));
+                return;
+            }
+        };
+        let mut lo = 0u64;
+        while lo < total_edges {
+            let hi = (lo + step).min(total_edges);
+            // Rewind: the range reader validates header + length at the
+            // current position on every call.
+            let res = std::io::Seek::seek(&mut file, std::io::SeekFrom::Start(0))
+                .map_err(IoError::Io)
+                .and_then(|_| read_binary_range(&mut file, lo, hi))
+                .map(|r| r.edges);
+            let failed = res.is_err();
+            if tx.send(res).is_err() || failed {
+                return; // consumer gone, or nothing sane follows an error
+            }
+            lo = hi;
+        }
+    });
+    rx
+}
+
+/// Dense ascending renumbering of the vertices a shard touches, reusable
+/// across shards: a vertex bitmap over the global id space plus a
+/// per-word popcount prefix, so `global → local` is one word load, a
+/// mask and a popcount. Ascending order makes the relabeling monotone.
+struct ShardRemap {
+    bits: Vec<u64>,
+    prefix: Vec<u32>,
+    /// `local → global`, ascending.
+    locals: Vec<u32>,
+}
+
+impl ShardRemap {
+    fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        ShardRemap {
+            bits: vec![0; words],
+            prefix: vec![0; words],
+            locals: Vec::new(),
+        }
+    }
+
+    /// Marks both endpoints of every edge, builds the rank structure and
+    /// returns the number of distinct vertices in the shard.
+    fn build(&mut self, edges: &[Edge]) -> usize {
+        self.bits.fill(0);
+        for e in edges {
+            self.bits[(e.u >> 6) as usize] |= 1u64 << (e.u & 63);
+            self.bits[(e.v >> 6) as usize] |= 1u64 << (e.v & 63);
+        }
+        let mut running = 0u32;
+        self.locals.clear();
+        for (wi, &word) in self.bits.iter().enumerate() {
+            self.prefix[wi] = running;
+            let mut rest = word;
+            while rest != 0 {
+                let bit = rest.trailing_zeros();
+                self.locals.push((wi as u32) << 6 | bit);
+                rest &= rest - 1;
+            }
+            running += word.count_ones();
+        }
+        running as usize
+    }
+
+    #[inline]
+    fn local(&self, g: u32) -> u32 {
+        let word = self.bits[(g >> 6) as usize];
+        self.prefix[(g >> 6) as usize] + (word & ((1u64 << (g & 63)) - 1)).count_ones()
+    }
+}
+
+/// Computes the certified canonical MSF of a binary edge file without
+/// ever materializing the whole edge list. See the module docs for the
+/// algorithm; see [`ShardedConfig`] for the memory knobs.
+pub fn sharded_msf_file(
+    path: &Path,
+    cfg: &ShardedConfig,
+    pool: &ThreadPool,
+) -> Result<ShardedRun, ShardedError> {
+    let (n, m) = {
+        let mut f = BufReader::new(std::fs::File::open(path).map_err(IoError::Io)?);
+        let probe = read_binary_range(&mut f, 0, 0)?;
+        (probe.num_vertices, probe.total_edges)
+    };
+    let shard_edges = cfg.shard_edges.max(1);
+    let shards = m.div_ceil(shard_edges as u64) as usize;
+    let par = ParallelForConfig::with_grain(512);
+
+    let mut stats = AlgoStats::default();
+    let mut acc: Vec<Edge> = Vec::new();
+    let cuf = ConcurrentUnionFind::new(n);
+    let mut arena = ScratchArena::new();
+    let mut remap = ShardRemap::new(n);
+    let mut candidate_edges = 0u64;
+    let mut filtered_edges = 0u64;
+
+    {
+        let _s = telemetry::span("sharded-build");
+        let rx = stream_shards(path, m, shard_edges, cfg.read_ahead);
+        for _ in 0..shards {
+            let mut edges = rx.recv().expect("shard reader hung up")?;
+
+            // Contract the shard locally under the monotone dense relabel.
+            let n_local = remap.build(&edges);
+            for e in edges.iter_mut() {
+                e.u = remap.local(e.u);
+                e.v = remap.local(e.v);
+            }
+            let mut c = Contraction::from_edge_list(n_local, edges);
+            c.arena = std::mem::replace(&mut arena, ScratchArena::new());
+            while !c.is_done() {
+                c.round(pool, par, &mut stats);
+            }
+            c.finish_stats(&mut stats);
+            let mut cand = c.chosen_edges();
+            arena = std::mem::replace(&mut c.arena, ScratchArena::new());
+            drop(c);
+            for e in cand.iter_mut() {
+                e.u = remap.locals[e.u as usize];
+                e.v = remap.locals[e.v as usize];
+            }
+            candidate_edges += cand.len() as u64;
+
+            par_sort_by_key(pool, &mut cand, Edge::key);
+
+            // Filter-Kruskal discard across shards: endpoints already
+            // connected in the accumulator, using only strictly lighter
+            // edges (every accumulated key ≤ max(acc) < e.key()), can
+            // never join the global MSF. Equal keys cannot occur between
+            // distinct records, and a byte-identical duplicate of an
+            // accumulated edge shares its key, fails the strict `>` and
+            // is discarded by the merge scan instead.
+            if let Some(last) = acc.last() {
+                let max_key = last.key();
+                let before = cand.len();
+                retain_parallel(pool, &mut cand, |e| {
+                    !(e.key() > max_key && cuf.same(e.u, e.v))
+                });
+                filtered_edges += (before - cand.len()) as u64;
+            }
+
+            // Publish the survivors' connectivity, then merge-scan the two
+            // key-sorted forests through a fresh union-find: the Kruskal
+            // scan over MSF(acc) ∪ MSF(shard) yields MSF(acc ∪ shard).
+            parallel_for_chunks(pool, 0..cand.len(), par, |chunk| {
+                for i in chunk {
+                    cuf.union(cand[i].u, cand[i].v);
+                }
+            });
+            stats.parallel_regions += 1;
+            let mut uf = UnionFind::new(n);
+            let mut merged = Vec::with_capacity(acc.len() + cand.len());
+            let (mut i, mut j) = (0, 0);
+            while i < acc.len() || j < cand.len() {
+                let take_acc = j >= cand.len()
+                    || (i < acc.len() && acc[i].key() <= cand[j].key());
+                let e = if take_acc {
+                    let e = acc[i];
+                    i += 1;
+                    e
+                } else {
+                    let e = cand[j];
+                    j += 1;
+                    e
+                };
+                if uf.union(e.u, e.v) {
+                    merged.push(e);
+                }
+            }
+            acc = merged;
+        }
+    }
+
+    stats.cas_retries += cuf.cas_retries();
+    telemetry::counter_add("sharded-shards", shards as u64);
+    telemetry::counter_add("sharded-candidates", candidate_edges);
+    telemetry::counter_add("sharded-filtered", filtered_edges);
+    let result = MstResult::from_edges(n, acc, stats);
+
+    if cfg.certify {
+        let _s = telemetry::span("sharded-certify");
+        certify_streaming(path, m, &result, cfg, pool)?;
+    }
+
+    Ok(ShardedRun {
+        num_vertices: n,
+        num_edges: m,
+        shards,
+        result,
+        certified: cfg.certify,
+        candidate_edges,
+        filtered_edges,
+    })
+}
+
+/// Re-streams the file and certifies `result` as its canonical MSF — the
+/// cycle-property sweep of [`crate::certify::certify_against`], driven
+/// over shards instead of a CSR. Every record must not beat the path
+/// maximum between its endpoints (`key < max` is a cut or spanning
+/// violation), and every tree edge must be matched by at least one
+/// record (`key == max`), tracked per tree edge so duplicate records
+/// cannot mask an absent one.
+fn certify_streaming(
+    path: &Path,
+    total_edges: u64,
+    result: &MstResult,
+    cfg: &ShardedConfig,
+    pool: &ThreadPool,
+) -> Result<(), ShardedError> {
+    let n = {
+        // The forest never names a vertex the header does not cover, but
+        // the index must be built over the file's full vertex set.
+        let mut f = BufReader::new(std::fs::File::open(path).map_err(IoError::Io)?);
+        read_binary_range(&mut f, 0, 0)?.num_vertices
+    };
+    let index = PathMaxIndex::build_par(n, result, pool)?;
+    let t = result.edges.len();
+
+    // The accumulator leaves the merge scan key-sorted, so the packed
+    // keys are ascending and rank lookup is a binary search.
+    let tree_keys: Vec<u128> = result
+        .edges
+        .iter()
+        .map(|e| key_bits(e.w, e.u, e.v))
+        .collect();
+    debug_assert!(tree_keys.windows(2).all(|w| w[0] < w[1]));
+    let seen: Vec<AtomicU64> = (0..t.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+    let worst: Mutex<Option<(EdgeKey, VerifyError)>> = Mutex::new(None);
+    let par = ParallelForConfig::with_grain(2048);
+
+    let rx = stream_shards(path, total_edges, cfg.shard_edges.max(1), cfg.read_ahead);
+    let shards = total_edges.div_ceil(cfg.shard_edges.max(1) as u64);
+    for _ in 0..shards {
+        let edges = rx.recv().expect("shard reader hung up")?;
+        let violations = AtomicUsize::new(0);
+        parallel_for_chunks(pool, 0..edges.len(), par, |chunk| {
+            for i in chunk {
+                let e = &edges[i];
+                if e.w > index.pass_above {
+                    continue; // heavier than every tree edge: passes outright
+                }
+                let kb = key_bits(e.w, e.u, e.v);
+                let maxk =
+                    index.path_max_at(index.pos[e.u as usize], index.pos[e.v as usize]);
+                if kb < maxk {
+                    // Cycle property violated, or (INF_KEY) a cross-tree
+                    // edge the forest fails to span. Keep the
+                    // smallest-key witness for a deterministic report.
+                    let err = if maxk == INF_KEY {
+                        VerifyError::NotSpanning(*e)
+                    } else {
+                        VerifyError::CutViolation(*e)
+                    };
+                    let key = e.key();
+                    let mut w = worst.lock();
+                    if w.as_ref().is_none_or(|(k, _)| key < *k) {
+                        *w = Some((key, err));
+                    }
+                    violations.fetch_add(1, Ordering::Relaxed);
+                } else if kb == maxk {
+                    // Keys are unique, so this record *is* the tree edge
+                    // that realises the path maximum.
+                    if let Ok(r) = tree_keys.binary_search(&kb) {
+                        seen[r >> 6].fetch_or(1u64 << (r & 63), Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        if violations.load(Ordering::Relaxed) > 0 {
+            let (_, err) = worst.into_inner().expect("violation recorded");
+            return Err(err.into());
+        }
+    }
+
+    // Any tree edge no record matched is foreign to the file.
+    for r in 0..t {
+        if seen[r >> 6].load(Ordering::Relaxed) & (1u64 << (r & 63)) == 0 {
+            return Err(VerifyError::ForeignEdge(result.edges[r]).into());
+        }
+    }
+    Ok(())
+}
+
+/// In-RAM convenience used by the bench harness, sweeps and tests: writes
+/// `graph` to a temporary binary file, runs the sharded backend over it
+/// (certified) and returns the forest. Panics if the run fails — callers
+/// hold a well-formed in-RAM graph, so any failure is a bug.
+pub fn sharded_msf_graph(graph: &CsrGraph, shard_edges: usize, pool: &ThreadPool) -> MstResult {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "llp-sharded-{}-{}.bin",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let run = (|| -> Result<ShardedRun, ShardedError> {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path).map_err(IoError::Io)?);
+        write_binary(graph, &mut w).map_err(IoError::Io)?;
+        std::io::Write::flush(&mut w).map_err(IoError::Io)?;
+        drop(w);
+        let cfg = ShardedConfig {
+            shard_edges,
+            ..ShardedConfig::default()
+        };
+        sharded_msf_file(&path, &cfg, pool)
+    })();
+    let _ = std::fs::remove_file(&path);
+    run.expect("sharded msf over an in-RAM graph").result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter_kruskal::filter_kruskal_par;
+    use crate::kruskal::kruskal;
+    use llp_graph::generators::{erdos_renyi, random_geometric, rmat, road_network};
+    use llp_graph::generators::{RmatParams, RoadParams};
+    use llp_graph::samples::fig1;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(3)
+    }
+
+    #[test]
+    fn matches_kruskal_on_fig1_at_every_shard_size() {
+        let g = fig1();
+        let keys = kruskal(&g).canonical_keys();
+        let pool = pool();
+        for shard_edges in [1, 2, 3, g.num_edges()] {
+            let r = sharded_msf_graph(&g, shard_edges, &pool);
+            assert_eq!(r.canonical_keys(), keys, "shard_edges {shard_edges}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_generator_families() {
+        let pool = pool();
+        for (name, g) in [
+            ("er", erdos_renyi(300, 1200, 7)),
+            ("er-sparse", erdos_renyi(200, 120, 3)),
+            ("geom", random_geometric(150, 0.15, 5)),
+            ("road", road_network(RoadParams::usa_like(12, 12, 9))),
+            ("rmat", rmat(RmatParams::graph500(9, 8, 1))),
+        ] {
+            let want = filter_kruskal_par(&g, &pool).canonical_keys();
+            let got = sharded_msf_graph(&g, 257, &pool);
+            assert_eq!(got.canonical_keys(), want, "{name}");
+        }
+    }
+
+    #[test]
+    fn file_run_reports_shape_and_certifies() {
+        let g = erdos_renyi(400, 1600, 21);
+        let path = std::env::temp_dir().join(format!("llp-sharded-test-{}.bin", std::process::id()));
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        write_binary(&g, &mut w).unwrap();
+        std::io::Write::flush(&mut w).unwrap();
+        drop(w);
+        let pool = pool();
+        let cfg = ShardedConfig {
+            shard_edges: 100,
+            certify: true,
+            read_ahead: 2,
+        };
+        let run = sharded_msf_file(&path, &cfg, &pool).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(run.num_vertices, 400);
+        assert_eq!(run.num_edges, g.num_edges() as u64);
+        assert_eq!(run.shards, g.num_edges().div_ceil(100));
+        assert!(run.certified);
+        assert!(run.result.stats.rounds > 0);
+        assert_eq!(
+            run.result.canonical_keys(),
+            kruskal(&g).canonical_keys()
+        );
+    }
+
+    #[test]
+    fn certification_rejects_a_corrupted_file_not_matching_the_forest() {
+        // Build a forest over one file, then certify it against a file
+        // whose lightest record was made even lighter: the forest is no
+        // longer minimum for the file, and the streaming sweep must say
+        // so with a cut violation.
+        let g = erdos_renyi(120, 500, 2);
+        let pool = pool();
+        let path = std::env::temp_dir().join(format!("llp-sharded-bad-{}.bin", std::process::id()));
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        write_binary(&g, &mut w).unwrap();
+        std::io::Write::flush(&mut w).unwrap();
+        drop(w);
+        let cfg = ShardedConfig {
+            shard_edges: 64,
+            certify: false,
+            read_ahead: 1,
+        };
+        let run = sharded_msf_file(&path, &cfg, &pool).unwrap();
+
+        // Rewrite one non-tree record strictly lighter than every weight.
+        let tree: std::collections::HashSet<(u32, u32)> = run
+            .result
+            .edges
+            .iter()
+            .map(|e| (e.u.min(e.v), e.u.max(e.v)))
+            .collect();
+        let victim = g
+            .edges()
+            .position(|e| !tree.contains(&(e.u.min(e.v), e.u.max(e.v))))
+            .expect("a non-tree edge exists");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = 28 + victim * 16 + 8;
+        bytes[off..off + 8].copy_from_slice(&(-1.0f64).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = certify_streaming(&path, run.num_edges, &run.result, &cfg, &pool).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            matches!(err, ShardedError::Verify(VerifyError::CutViolation(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn empty_and_edgeless_files_work() {
+        let pool = pool();
+        for n in [0usize, 5] {
+            let g = CsrGraph::empty(n);
+            let r = sharded_msf_graph(&g, 8, &pool);
+            assert!(r.edges.is_empty());
+            assert_eq!(r.num_trees, n);
+        }
+    }
+}

@@ -8,7 +8,7 @@ use llp_graph::generators::{erdos_renyi, random_geometric, road_network, RoadPar
 use llp_graph::{CsrGraph, Edge};
 use llp_mst::prelude::{
     certify_msf, certify_msf_par, filter_kruskal_par, filter_kruskal_par_with_base_case, kruskal,
-    spmv_boruvka_par, verify_msf,
+    sharded_msf_graph, spmv_boruvka_par, verify_msf,
 };
 use llp_mst::{AlgoStats, MstResult};
 use llp_runtime::rng::SmallRng;
@@ -148,6 +148,50 @@ fn filter_kruskal_par_certifies_and_rejects_mutations_under_chaos_seeds() {
                     certify_msf(&g, &cyclic).is_err(),
                     "certify/cycle {chaos_seed}/{seed}/{gi}"
                 );
+            }
+        }
+        chaos::set_seed(None);
+    }
+}
+
+#[test]
+fn sharded_ooc_certifies_and_agrees_under_chaos_seeds() {
+    // The out-of-core backend under every chaos seed the CI matrix runs:
+    // its per-shard contraction rounds, parallel filter scans and sorted
+    // merges all run on the pool, and each run is already certified by
+    // its own streaming sweep over the temp file. On top of that, assert
+    // cross-family agreement and in-RAM oracle + certifier acceptance —
+    // and that replaying the same graph under the same chaos seed is
+    // bit-identical (the forest is a pure function of the edge file).
+    let pool = ThreadPool::new(4);
+    for chaos_seed in [1u64, 2, 3, 4] {
+        chaos::set_seed(Some(chaos_seed));
+        for seed in 0..4u64 {
+            for (gi, g) in graphs(seed).into_iter().enumerate() {
+                // Shard small enough that every graph folds across shards.
+                let shard = g.num_edges() / 5 + 1;
+                let msf = sharded_msf_graph(&g, shard, &pool);
+                assert_eq!(
+                    msf.canonical_keys(),
+                    filter_kruskal_par(&g, &pool).canonical_keys(),
+                    "cross-family agreement {chaos_seed}/{seed}/{gi}"
+                );
+                verify_msf(&g, &msf)
+                    .unwrap_or_else(|e| panic!("oracle {chaos_seed}/{seed}/{gi}: {e}"));
+                certify_msf(&g, &msf)
+                    .unwrap_or_else(|e| panic!("certify {chaos_seed}/{seed}/{gi}: {e}"));
+                certify_msf_par(&g, &msf, &pool)
+                    .unwrap_or_else(|e| panic!("certify_par {chaos_seed}/{seed}/{gi}: {e}"));
+
+                let replay = sharded_msf_graph(&g, shard, &pool);
+                assert_eq!(replay.edges.len(), msf.edges.len());
+                for (x, y) in replay.edges.iter().zip(&msf.edges) {
+                    assert_eq!(
+                        (x.u, x.v, x.w.to_bits()),
+                        (y.u, y.v, y.w.to_bits()),
+                        "replay divergence {chaos_seed}/{seed}/{gi}"
+                    );
+                }
             }
         }
         chaos::set_seed(None);

@@ -15,6 +15,7 @@ pub mod erdos_renyi;
 pub mod geometric;
 pub mod rmat;
 pub mod road;
+pub mod stream;
 
 pub use barabasi_albert::barabasi_albert;
 pub use classic::{caterpillar, complete, cycle, ladder, path, star};
@@ -22,3 +23,4 @@ pub use erdos_renyi::erdos_renyi;
 pub use geometric::random_geometric;
 pub use rmat::{rmat, RmatParams};
 pub use road::{road_network, RoadParams};
+pub use stream::{erdos_renyi_stream, rmat_stream, DEFAULT_CHUNK_EDGES};

@@ -23,10 +23,15 @@
 //! violation — truncation, out-of-range endpoints, self-loops, non-finite
 //! weights — fails with [`IoError::ParseBytes`] naming the byte offset and
 //! edge ordinal where it happened.
+//!
+//! [`read_binary_range`] reads a contiguous record range without building
+//! a graph (for out-of-core sharding), and [`BinaryWriter`] streams a file
+//! out in bounded chunks (for generators too big to materialize).
 
 use super::IoError;
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
+use crate::edge::Edge;
 use std::io::{Read, Seek, SeekFrom, Write};
 
 const MAGIC: &[u8; 8] = b"LLPGRAPH";
@@ -76,101 +81,327 @@ pub fn read_binary_slice(buf: &[u8]) -> Result<CsrGraph, IoError> {
 }
 
 /// [`read_binary`] over a seekable reader (e.g. a [`std::fs::File`]): the
-/// remaining input length is measured by seeking once, then validated
-/// against the header exactly like [`read_binary_slice`].
+/// header is read and validated at the reader's **current** position
+/// first; only then is the remaining input length measured (one seek to
+/// the end and back) and checked against the claimed `m`, exactly like
+/// [`read_binary_slice`]. Header violations therefore surface at their
+/// own byte offsets even when the reader starts at a nonzero offset or
+/// its end cannot be measured at all.
 pub fn read_binary_seek<R: Read + Seek>(mut r: R) -> Result<CsrGraph, IoError> {
-    let pos = r.stream_position()?;
-    let end = r.seek(SeekFrom::End(0))?;
-    r.seek(SeekFrom::Start(pos))?;
-    read_binary_impl(r, Some(end.saturating_sub(pos)))
+    let header = read_header(&mut r)?;
+    check_payload(header.m, remaining_len(&mut r)?)?;
+    decode_graph(r, header, true)
 }
 
-fn read_binary_impl<R: Read>(mut r: R, total_len: Option<u64>) -> Result<CsrGraph, IoError> {
+/// Header facts: claimed vertex and edge counts.
+struct Header {
+    n: u64,
+    m: u64,
+}
+
+/// Reads and validates the 28-byte header at the reader's current
+/// position. Error offsets are relative to the header start.
+fn read_header<R: Read>(r: &mut R) -> Result<Header, IoError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)
         .map_err(|e| eof_at(e, 0, "magic"))?;
     if &magic != MAGIC {
         return Err(IoError::ParseBytes(0, "bad magic".into()));
     }
-    let version = read_u32(&mut r, 8, "version")?;
+    let version = read_u32(r, 8, "version")?;
     if version != VERSION {
         return Err(IoError::ParseBytes(
             8,
             format!("unsupported version {version}"),
         ));
     }
-    let n64 = read_u64(&mut r, 12, "vertex count")?;
-    if n64 > MAX_VERTICES {
+    let n = read_u64(r, 12, "vertex count")?;
+    if n > MAX_VERTICES {
         return Err(IoError::ParseBytes(
             12,
-            format!("vertex count {n64} exceeds the u32 id space"),
+            format!("vertex count {n} exceeds the u32 id space"),
         ));
     }
-    let n = n64 as usize;
-    let m64 = read_u64(&mut r, 20, "edge count")?;
+    let m = read_u64(r, 20, "edge count")?;
+    Ok(Header { n, m })
+}
 
+/// Measures the bytes between the reader's current position and its end
+/// (one round-trip of seeks; the position is restored).
+fn remaining_len<R: Seek>(r: &mut R) -> Result<u64, IoError> {
+    let pos = r.stream_position()?;
+    let end = r.seek(SeekFrom::End(0))?;
+    r.seek(SeekFrom::Start(pos))?;
+    Ok(end.saturating_sub(pos))
+}
+
+/// Checks the claimed edge count against a measured payload length:
+/// exactly `m × 16` bytes, or the file is corrupt. Reported at offset 20,
+/// where the lying `m` lives.
+fn check_payload(m: u64, payload: u64) -> Result<(), IoError> {
+    if m > payload / EDGE_BYTES {
+        return Err(IoError::ParseBytes(
+            20,
+            format!(
+                "header claims {m} edges ({} bytes) but only {payload} \
+                 payload bytes remain",
+                m.saturating_mul(EDGE_BYTES),
+            ),
+        ));
+    }
+    if payload != m * EDGE_BYTES {
+        return Err(IoError::ParseBytes(
+            20,
+            format!(
+                "payload length {payload} disagrees with header \
+                 (expected exactly {} bytes for {m} edges)",
+                m * EDGE_BYTES,
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Decodes and validates one 16-byte edge record. `i` is the edge's
+/// global ordinal in the file and `off` its byte offset, for errors.
+fn decode_edge(
+    rec: &[u8; EDGE_BYTES as usize],
+    n: u64,
+    i: u64,
+    off: u64,
+) -> Result<Edge, IoError> {
+    let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+    let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+    let w = f64::from_le_bytes(rec[8..16].try_into().unwrap());
+    if (u as u64) >= n || (v as u64) >= n {
+        return Err(IoError::ParseBytes(
+            off,
+            format!("edge #{i}: endpoint ({u},{v}) out of range (n = {n})"),
+        ));
+    }
+    if u == v {
+        return Err(IoError::ParseBytes(
+            off,
+            format!("edge #{i}: self-loop at vertex {u}"),
+        ));
+    }
+    if !w.is_finite() {
+        return Err(IoError::ParseBytes(
+            off + 8,
+            format!("edge #{i}: non-finite weight {w}"),
+        ));
+    }
+    Ok(Edge::new(u, v, w))
+}
+
+fn read_binary_impl<R: Read>(mut r: R, total_len: Option<u64>) -> Result<CsrGraph, IoError> {
+    let header = read_header(&mut r)?;
     // With a known input length the header is either exactly right or the
     // file is corrupt — reject before allocating or decoding anything.
     // Without one (pure stream), cap the pre-allocation; a lying `m` then
     // dies on the first missing edge record instead of in the allocator.
-    let prealloc = match total_len {
-        Some(len) => {
-            let payload = len.saturating_sub(HEADER_BYTES);
-            if m64 > payload / EDGE_BYTES {
-                return Err(IoError::ParseBytes(
-                    20,
-                    format!(
-                        "header claims {m64} edges ({} bytes) but only {payload} \
-                         payload bytes remain",
-                        m64.saturating_mul(EDGE_BYTES),
-                    ),
-                ));
-            }
-            if payload != m64 * EDGE_BYTES {
-                return Err(IoError::ParseBytes(
-                    20,
-                    format!(
-                        "payload length {payload} disagrees with header \
-                         (expected exactly {} bytes for {m64} edges)",
-                        m64 * EDGE_BYTES,
-                    ),
-                ));
-            }
-            m64 as usize
-        }
-        None => (m64.min(PREALLOC_EDGES as u64)) as usize,
-    };
+    if let Some(len) = total_len {
+        check_payload(header.m, len.saturating_sub(HEADER_BYTES))?;
+    }
+    decode_graph(r, header, total_len.is_some())
+}
 
-    let mut b = GraphBuilder::with_capacity(n, prealloc);
+fn decode_graph<R: Read>(
+    mut r: R,
+    header: Header,
+    length_checked: bool,
+) -> Result<CsrGraph, IoError> {
+    let prealloc = if length_checked {
+        header.m as usize
+    } else {
+        header.m.min(PREALLOC_EDGES as u64) as usize
+    };
+    let mut b = GraphBuilder::with_capacity(header.n as usize, prealloc);
     let mut rec = [0u8; EDGE_BYTES as usize];
-    for i in 0..m64 {
+    for i in 0..header.m {
         let off = HEADER_BYTES + i * EDGE_BYTES;
         r.read_exact(&mut rec)
             .map_err(|e| eof_at(e, off, &format!("edge #{i}")))?;
-        let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
-        let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
-        let w = f64::from_le_bytes(rec[8..16].try_into().unwrap());
-        if (u as u64) >= n64 || (v as u64) >= n64 {
-            return Err(IoError::ParseBytes(
-                off,
-                format!("edge #{i}: endpoint ({u},{v}) out of range (n = {n})"),
-            ));
-        }
-        if u == v {
-            return Err(IoError::ParseBytes(
-                off,
-                format!("edge #{i}: self-loop at vertex {u}"),
-            ));
-        }
-        if !w.is_finite() {
-            return Err(IoError::ParseBytes(
-                off + 8,
-                format!("edge #{i}: non-finite weight {w}"),
-            ));
-        }
-        b.add_edge(u, v, w);
+        let e = decode_edge(&rec, header.n, i, off)?;
+        b.add_edge(e.u, e.v, e.w);
     }
     Ok(b.build())
+}
+
+/// A contiguous slice of a binary graph file, plus the file's header
+/// facts. Unlike the whole-graph readers this does **not** run the
+/// records through [`GraphBuilder`]: edges come back exactly as stored
+/// (parallel edges preserved, file order kept), which out-of-core
+/// algorithms rely on to shard a file without changing its edge multiset.
+#[derive(Debug)]
+pub struct EdgeRange {
+    /// Vertex count claimed by the (validated) header.
+    pub num_vertices: usize,
+    /// Total edge count in the file — not the range length.
+    pub total_edges: u64,
+    /// The decoded records `[lo, hi)`, in file order.
+    pub edges: Vec<Edge>,
+}
+
+/// Reads edge records `[lo_edge, hi_edge)` of a binary graph file.
+///
+/// The header is read and validated at the reader's current position
+/// first; then the remaining length is measured and checked against the
+/// claimed `m` (a truncated file is rejected at offset 20 before any
+/// decoding, like [`read_binary_seek`]); then the reader seeks straight
+/// to `lo_edge` and decodes the range. Per-edge violations — and a
+/// mid-range truncation behind a reader whose measured length lied — are
+/// reported with the edge's **global** ordinal and **absolute** byte
+/// offset in the file, so a shard-local failure names the real record.
+///
+/// `read_binary_range(r, 0, 0)` is a cheap header probe: it validates
+/// header and payload length and returns no edges.
+pub fn read_binary_range<R: Read + Seek>(
+    mut r: R,
+    lo_edge: u64,
+    hi_edge: u64,
+) -> Result<EdgeRange, IoError> {
+    let base = r.stream_position()?;
+    let header = read_header(&mut r)?;
+    check_payload(header.m, remaining_len(&mut r)?)?;
+    if lo_edge > hi_edge || hi_edge > header.m {
+        return Err(IoError::ParseBytes(
+            20,
+            format!(
+                "requested edge range [{lo_edge}, {hi_edge}) outside the \
+                 file's {} edges",
+                header.m
+            ),
+        ));
+    }
+    r.seek(SeekFrom::Start(base + HEADER_BYTES + lo_edge * EDGE_BYTES))?;
+    // hi ≤ m and m × 16 was just proven against the measured payload, so
+    // this allocation is bounded by real bytes on disk.
+    let mut edges = Vec::with_capacity((hi_edge - lo_edge) as usize);
+    let mut rec = [0u8; EDGE_BYTES as usize];
+    for i in lo_edge..hi_edge {
+        let off = HEADER_BYTES + i * EDGE_BYTES;
+        r.read_exact(&mut rec)
+            .map_err(|e| eof_at(e, off, &format!("edge #{i}")))?;
+        edges.push(decode_edge(&rec, header.n, i, off)?);
+    }
+    Ok(EdgeRange {
+        num_vertices: header.n as usize,
+        total_edges: header.m,
+        edges,
+    })
+}
+
+/// Flush threshold for [`BinaryWriter`]'s internal buffer.
+const WRITE_BUF_BYTES: usize = 1 << 20;
+
+/// Incremental writer for the binary graph format.
+///
+/// [`write_binary`] needs the whole graph in memory; this writer streams
+/// edge records as they are produced (generator chunks, shard merges)
+/// through an internal ~1 MiB buffer, then back-patches the header's edge
+/// count on [`finish`](BinaryWriter::finish). Records are validated on
+/// the way in (endpoint range, self-loops, non-finite weights) so a
+/// finished file always round-trips through the readers. Parallel
+/// (duplicate) edges are allowed: the format stores a multiset, the
+/// range reader preserves it, and the whole-graph readers collapse
+/// duplicates through [`GraphBuilder`].
+pub struct BinaryWriter<W: Write + Seek> {
+    w: W,
+    /// Position of the header start, so `finish` can patch `m` even when
+    /// the file began at a nonzero offset.
+    base: u64,
+    n: u64,
+    m: u64,
+    buf: Vec<u8>,
+}
+
+impl<W: Write + Seek> BinaryWriter<W> {
+    /// Starts a file for `n` vertices at the writer's current position,
+    /// buffering a header with a placeholder edge count.
+    pub fn new(mut w: W, n: usize) -> Result<Self, IoError> {
+        if (n as u64) > MAX_VERTICES {
+            return Err(IoError::ParseBytes(
+                12,
+                format!("vertex count {n} exceeds the u32 id space"),
+            ));
+        }
+        let base = w.stream_position()?;
+        let mut buf = Vec::with_capacity(WRITE_BUF_BYTES + EDGE_BYTES as usize);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(n as u64).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // m, patched by finish()
+        Ok(BinaryWriter {
+            w,
+            base,
+            n: n as u64,
+            m: 0,
+            buf,
+        })
+    }
+
+    /// Appends one edge record, validated like the readers validate it.
+    pub fn write_edge(&mut self, e: Edge) -> Result<(), IoError> {
+        let off = HEADER_BYTES + self.m * EDGE_BYTES;
+        if (e.u as u64) >= self.n || (e.v as u64) >= self.n {
+            return Err(IoError::ParseBytes(
+                off,
+                format!(
+                    "edge #{}: endpoint ({},{}) out of range (n = {})",
+                    self.m, e.u, e.v, self.n
+                ),
+            ));
+        }
+        if e.u == e.v {
+            return Err(IoError::ParseBytes(
+                off,
+                format!("edge #{}: self-loop at vertex {}", self.m, e.u),
+            ));
+        }
+        if !e.w.is_finite() {
+            return Err(IoError::ParseBytes(
+                off + 8,
+                format!("edge #{}: non-finite weight {}", self.m, e.w),
+            ));
+        }
+        self.buf.extend_from_slice(&e.u.to_le_bytes());
+        self.buf.extend_from_slice(&e.v.to_le_bytes());
+        self.buf.extend_from_slice(&e.w.to_le_bytes());
+        self.m += 1;
+        if self.buf.len() >= WRITE_BUF_BYTES {
+            self.w.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Appends a chunk of edge records.
+    pub fn write_edges(&mut self, edges: &[Edge]) -> Result<(), IoError> {
+        for &e in edges {
+            self.write_edge(e)?;
+        }
+        Ok(())
+    }
+
+    /// Number of edges written so far.
+    pub fn edges_written(&self) -> u64 {
+        self.m
+    }
+
+    /// Flushes the buffer, back-patches the header's edge count and
+    /// returns the inner writer plus the final count. Dropping a writer
+    /// without `finish` leaves a header claiming zero edges, which the
+    /// length-checked readers then reject against the payload.
+    pub fn finish(mut self) -> Result<(W, u64), IoError> {
+        self.w.write_all(&self.buf)?;
+        self.buf.clear();
+        self.w.seek(SeekFrom::Start(self.base + 20))?;
+        self.w.write_all(&self.m.to_le_bytes())?;
+        self.w.seek(SeekFrom::End(0))?;
+        self.w.flush()?;
+        Ok((self.w, self.m))
+    }
 }
 
 /// Maps an unexpected end-of-input to a [`IoError::ParseBytes`] naming
@@ -332,5 +563,201 @@ mod tests {
             let err = read_binary_slice(&buf).unwrap_err();
             assert_eq!(parse_offset(err), HEADER_BYTES + 8, "weight {w}");
         }
+    }
+
+    use std::io::Cursor;
+
+    /// A reader whose end cannot be measured: every `SeekFrom::End` seek
+    /// fails. Header validation must come first, so header violations
+    /// still surface at their own offsets.
+    struct SeekEndFails<R>(R);
+
+    impl<R: Read> Read for SeekEndFails<R> {
+        fn read(&mut self, b: &mut [u8]) -> std::io::Result<usize> {
+            self.0.read(b)
+        }
+    }
+
+    impl<R: Seek> Seek for SeekEndFails<R> {
+        fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+            if matches!(pos, SeekFrom::End(_)) {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "end not measurable",
+                ))
+            } else {
+                self.0.seek(pos)
+            }
+        }
+    }
+
+    /// A reader that lies about its end position — models a file
+    /// truncated between the length measurement and the decode loop.
+    struct LyingEnd<R> {
+        inner: R,
+        end: u64,
+    }
+
+    impl<R: Read> Read for LyingEnd<R> {
+        fn read(&mut self, b: &mut [u8]) -> std::io::Result<usize> {
+            self.inner.read(b)
+        }
+    }
+
+    impl<R: Seek> Seek for LyingEnd<R> {
+        fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+            match pos {
+                SeekFrom::End(0) => Ok(self.end),
+                other => self.inner.seek(other),
+            }
+        }
+    }
+
+    #[test]
+    fn seek_reader_validates_header_before_measuring_length() {
+        // Bad magic on a reader whose end seek errors: the header must be
+        // rejected at offset 0 before any length measurement is attempted.
+        let mut buf = b"NOTAGRPH".to_vec();
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_binary_seek(SeekEndFails(Cursor::new(buf))).unwrap_err();
+        assert_eq!(parse_offset(err), 0);
+    }
+
+    #[test]
+    fn seek_reader_supports_nonzero_start_offsets() {
+        let g = erdos_renyi(30, 60, 5);
+        let mut buf = vec![0xAB; 13]; // arbitrary preamble before the header
+        write_binary(&g, &mut buf).unwrap();
+        let mut c = Cursor::new(&buf);
+        c.seek(SeekFrom::Start(13)).unwrap();
+        assert_eq!(read_binary_seek(&mut c).unwrap(), g);
+        // The range reader honours the same convention.
+        c.seek(SeekFrom::Start(13)).unwrap();
+        let r = read_binary_range(&mut c, 0, g.num_edges() as u64).unwrap();
+        assert_eq!(r.edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn range_reader_round_trips_in_pieces() {
+        let g = erdos_renyi(80, 200, 11);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let m = g.num_edges() as u64;
+        let all: Vec<Edge> = g.edges().collect();
+        for step in [1u64, 7, 64, m] {
+            let mut got = Vec::new();
+            let mut lo = 0;
+            while lo < m {
+                let hi = (lo + step).min(m);
+                let r = read_binary_range(Cursor::new(&buf), lo, hi).unwrap();
+                assert_eq!(r.num_vertices, 80);
+                assert_eq!(r.total_edges, m);
+                assert_eq!(r.edges.len(), (hi - lo) as usize);
+                got.extend(r.edges);
+                lo = hi;
+            }
+            assert_eq!(got.len(), all.len(), "step {step}");
+            for (a, b) in got.iter().zip(&all) {
+                assert_eq!((a.u, a.v, a.w), (b.u, b.v, b.w), "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_header_probe_and_bounds() {
+        let g = erdos_renyi(20, 40, 2);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let m = g.num_edges() as u64;
+        let probe = read_binary_range(Cursor::new(&buf), 0, 0).unwrap();
+        assert_eq!(probe.num_vertices, 20);
+        assert_eq!(probe.total_edges, m);
+        assert!(probe.edges.is_empty());
+        // hi past the end or an inverted range: rejected at the header.
+        let err = read_binary_range(Cursor::new(&buf), 0, m + 1).unwrap_err();
+        assert_eq!(parse_offset(err), 20);
+        let err = read_binary_range(Cursor::new(&buf), 3, 2).unwrap_err();
+        assert_eq!(parse_offset(err), 20);
+    }
+
+    #[test]
+    fn range_rejects_truncation_at_header_and_mid_range_with_offsets() {
+        let g = erdos_renyi(20, 50, 3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let m = g.num_edges() as u64;
+        let full_len = buf.len() as u64;
+        buf.truncate(buf.len() - 3);
+        // Honest length: rejected up front at offset 20, like the other
+        // length-checked readers.
+        let err = read_binary_range(Cursor::new(&buf), 0, m).unwrap_err();
+        assert_eq!(parse_offset(err), 20);
+        // A reader whose measured length lies (a file truncated between
+        // the measurement and the read): the decode loop dies mid-range
+        // naming the edge's global ordinal and absolute byte offset.
+        let lying = LyingEnd {
+            inner: Cursor::new(&buf),
+            end: full_len,
+        };
+        let err = read_binary_range(lying, m - 2, m).unwrap_err();
+        assert_eq!(parse_offset(err), HEADER_BYTES + (m - 1) * EDGE_BYTES);
+        let lying = LyingEnd {
+            inner: Cursor::new(&buf),
+            end: full_len,
+        };
+        let msg = read_binary_range(lying, m - 2, m).unwrap_err().to_string();
+        assert!(msg.contains(&format!("edge #{}", m - 1)), "{msg}");
+    }
+
+    #[test]
+    fn range_rejects_corrupt_edges_at_absolute_offsets() {
+        let edges: Vec<(u32, u32, f64)> = (0..10).map(|i| (i, i + 1, i as f64)).collect();
+        let mut buf = file(11, 10, &edges);
+        // Corrupt edge #5 into a self-loop; read a range straddling it.
+        let off = (HEADER_BYTES + 5 * EDGE_BYTES) as usize;
+        buf[off..off + 4].copy_from_slice(&6u32.to_le_bytes());
+        let err = read_binary_range(Cursor::new(&buf), 4, 8).unwrap_err();
+        assert_eq!(parse_offset(err), HEADER_BYTES + 5 * EDGE_BYTES);
+        let msg = read_binary_range(Cursor::new(&buf), 4, 8)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("edge #5") && msg.contains("self-loop"), "{msg}");
+    }
+
+    #[test]
+    fn binary_writer_round_trips_and_patches_edge_count() {
+        let g = erdos_renyi(60, 150, 9);
+        let mut w = BinaryWriter::new(Cursor::new(Vec::new()), 60).unwrap();
+        let edges: Vec<Edge> = g.edges().collect();
+        w.write_edges(&edges).unwrap();
+        assert_eq!(w.edges_written(), edges.len() as u64);
+        let (cur, m) = w.finish().unwrap();
+        assert_eq!(m, edges.len() as u64);
+        let buf = cur.into_inner();
+        assert_eq!(read_binary_seek(Cursor::new(&buf)).unwrap(), g);
+        let r = read_binary_range(Cursor::new(&buf), 0, m).unwrap();
+        assert_eq!(r.edges.len(), edges.len());
+    }
+
+    #[test]
+    fn binary_writer_keeps_parallel_edges_and_validates_records() {
+        let mut w = BinaryWriter::new(Cursor::new(Vec::new()), 4).unwrap();
+        w.write_edge(Edge::new(0, 1, 1.0)).unwrap();
+        w.write_edge(Edge::new(1, 0, 2.0)).unwrap(); // parallel duplicate: allowed
+        assert!(w.write_edge(Edge::new(2, 2, 1.0)).is_err()); // self-loop
+        assert!(w.write_edge(Edge::new(0, 9, 1.0)).is_err()); // out of range
+        assert!(w.write_edge(Edge::new(0, 3, f64::NAN)).is_err()); // non-finite
+        let (cur, m) = w.finish().unwrap();
+        assert_eq!(m, 2);
+        // The range reader sees the multiset verbatim...
+        let r = read_binary_range(Cursor::new(cur.get_ref()), 0, m).unwrap();
+        assert_eq!(r.edges.len(), 2);
+        // ...while the whole-graph reader collapses the duplicate to the
+        // minimum weight through GraphBuilder.
+        let g = read_binary_seek(Cursor::new(cur.get_ref())).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.min_edge(0).unwrap().weight(), 1.0);
     }
 }

@@ -14,7 +14,10 @@ pub mod dimacs;
 pub mod metis;
 pub mod text;
 
-pub use binary::{read_binary, read_binary_seek, read_binary_slice, write_binary};
+pub use binary::{
+    read_binary, read_binary_range, read_binary_seek, read_binary_slice, write_binary,
+    BinaryWriter, EdgeRange,
+};
 pub use dimacs::{read_dimacs, write_dimacs};
 pub use metis::{read_metis, write_metis};
 pub use text::{read_edge_list, write_edge_list};

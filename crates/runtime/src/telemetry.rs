@@ -397,6 +397,66 @@ mod imp {
 
 pub use imp::{begin_run, counter_add, enabled, record_value, set_enabled, span, take_report, SpanGuard};
 
+/// Peak resident set size of this process in bytes, read from the
+/// kernel's high-water mark (`VmHWM` in `/proc/self/status`) on Linux;
+/// `None` on other platforms or when procfs is unavailable.
+///
+/// This is a process-lifetime gauge, not a phase measurement: it only
+/// ever rises, and it is independent of the `telemetry` feature gate so
+/// memory-budget checks (the out-of-core harness gate) work in every
+/// build configuration.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm_bytes(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Parses the `VmHWM:` line of a `/proc/<pid>/status` dump into bytes.
+/// The kernel always reports the value in kB.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm_bytes(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod rss_tests {
+    use super::*;
+
+    #[test]
+    fn parses_vm_hwm_lines() {
+        let status = "Name:\tcargo\nVmPeak:\t  123 kB\nVmHWM:\t   20512 kB\nVmRSS:\t 20000 kB\n";
+        assert_eq!(parse_vm_hwm_bytes(status), Some(20512 * 1024));
+        assert_eq!(parse_vm_hwm_bytes("Name:\tx\n"), None);
+        assert_eq!(parse_vm_hwm_bytes("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_positive_and_monotone() {
+        let before = peak_rss_bytes().expect("procfs available");
+        assert!(before > 0);
+        // Touch a real allocation; the high-water mark can only rise.
+        let v = vec![1u8; 4 << 20];
+        std::hint::black_box(&v);
+        let after = peak_rss_bytes().expect("procfs available");
+        assert!(after >= before);
+    }
+}
+
 #[cfg(all(test, feature = "telemetry"))]
 mod tests {
     use super::*;

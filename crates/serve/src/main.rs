@@ -22,7 +22,7 @@
 //! is accepted.
 
 use llp_graph::generators::{erdos_renyi, rmat, RmatParams};
-use llp_graph::io::{read_binary_slice, write_binary, IoError};
+use llp_graph::io::{read_binary_range, read_binary_slice, write_binary, IoError};
 use llp_graph::CsrGraph;
 use llp_runtime::ThreadPool;
 use llp_serve::loadgen::{run_sweep, write_report, LoadgenConfig, ReportInputs, SweepPoint};
@@ -435,9 +435,52 @@ fn cmd_fuzz_ingest(args: &mut [String]) -> Result<(), String> {
             }
         }
     }
+    // The range reader is a separate entry point with its own seek
+    // arithmetic (used by the out-of-core sharded pipeline); exercise
+    // its bounds, truncation and per-record checks too.
+    let m = graph.num_edges() as u64;
+    type RangeMutation = (&'static str, Box<dyn Fn(&mut Vec<u8>) -> (u64, u64)>);
+    let range_cases: Vec<RangeMutation> = vec![
+        ("range-out-of-bounds", Box::new(move |_b: &mut Vec<u8>| (0, m + 1))),
+        (
+            "range-truncated-payload",
+            Box::new(move |b: &mut Vec<u8>| {
+                b.truncate(b.len() - 3);
+                (0, m)
+            }),
+        ),
+        (
+            "range-bad-edge",
+            Box::new(|b: &mut Vec<u8>| {
+                // Corrupt edge #5 into a self-loop, then request a window
+                // containing it: the error must carry the edge's absolute
+                // file offset even though decoding started mid-file.
+                let off = 28 + 5 * 16;
+                let u: [u8; 4] = b[off..off + 4].try_into().unwrap();
+                b[off + 4..off + 8].copy_from_slice(&u);
+                (4, 8)
+            }),
+        ),
+    ];
+    for (name, mutate) in &range_cases {
+        let mut bytes = pristine.clone();
+        let (lo, hi) = mutate(&mut bytes);
+        match read_binary_range(&mut std::io::Cursor::new(&bytes), lo, hi) {
+            Err(e @ IoError::ParseBytes(..)) => println!("{name}: rejected ({e})"),
+            Err(e) => println!("{name}: rejected with unexpected error kind ({e})"),
+            Ok(r) => {
+                println!("{name}: ACCEPTED a corrupt range ({} edges)", r.edges.len());
+                failures += 1;
+            }
+        }
+    }
+
     if failures > 0 {
         return Err(format!("{failures} corruptions were accepted"));
     }
-    println!("fuzz-ingest: all {} corruptions rejected", cases.len());
+    println!(
+        "fuzz-ingest: all {} corruptions rejected",
+        cases.len() + range_cases.len()
+    );
     Ok(())
 }

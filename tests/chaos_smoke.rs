@@ -38,6 +38,9 @@ fn all_algorithms_certify_under_chaos_seeds() {
                 ("boruvka_par", boruvka_par(g, &pool)),
                 ("llp_boruvka", llp_boruvka(g, &pool)),
                 ("spmv_boruvka_par", spmv_boruvka_par(g, &pool)),
+                // Round-trips through a temp binary file; a shard size
+                // forcing several fold rounds under each chaos schedule.
+                ("sharded_ooc", sharded_msf_graph(g, g.num_edges() / 5 + 1, &pool)),
                 ("prim_lazy", prim_lazy(g, 0).unwrap()),
                 ("prim_indexed", prim_indexed(g, 0).unwrap()),
                 ("llp_prim_seq", llp_prim_seq(g, 0).unwrap()),
