@@ -6,6 +6,7 @@
 //! ooc-bench run --graph g.bin [--shard-mb MB | --shard-edges N] [--threads T]
 //!               [--read-ahead K] [--no-certify] [--report out.json]
 //!               [--max-rss-frac 0.5] [--rss-baseline-mb 0]
+//!               [--checkpoint ck.llp] [--stop-after-shards N]
 //! ```
 //!
 //! `gen` streams an RMAT / Erdős–Rényi sample straight to the binary
@@ -19,6 +20,12 @@
 //! RSS at most half the edge list). Nonzero exit when the gate fails,
 //! certification rejects, or certification was skipped while a gate
 //! report was requested.
+//!
+//! `--checkpoint` names a manifest that is fsync'd after every
+//! completed shard: a killed run re-launched with the same flags skips
+//! the shards already folded in and still certifies. `--stop-after-shards`
+//! interrupts deliberately (exit code 3, distinct from failure) so CI
+//! can rehearse the kill-and-resume path without an actual SIGKILL.
 //!
 //! The JSON report (`llp-mst-ooc-report/v1`):
 //!
@@ -67,7 +74,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: ooc-bench <gen|run> [options]
   gen --out g.bin [--kind rmat|er] [--scale 16] [--ef 16] [--seed 1] [--chunk-edges N]
   run --graph g.bin [--shard-mb MB | --shard-edges N] [--threads T] [--read-ahead K]
-      [--no-certify] [--report out.json] [--max-rss-frac 0.5] [--rss-baseline-mb 0]";
+      [--no-certify] [--report out.json] [--max-rss-frac 0.5] [--rss-baseline-mb 0]
+      [--checkpoint ck.llp] [--stop-after-shards N]   (exit 3 = interrupted, resumable)";
 
 /// Removes `--name value` from `args`, if present.
 fn take_opt(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
@@ -228,16 +236,44 @@ fn cmd_run(args: &mut Vec<String>) -> Result<(), String> {
     let max_rss_frac: f64 = parse("--max-rss-frac", take_opt(args, "--max-rss-frac")?, 0.5)?;
     let rss_baseline_mb: u64 =
         parse("--rss-baseline-mb", take_opt(args, "--rss-baseline-mb")?, 0)?;
+    let checkpoint = take_opt(args, "--checkpoint")?.map(PathBuf::from);
+    let stop_after_shards: Option<usize> = take_opt(args, "--stop-after-shards")?
+        .map(|s| s.parse().map_err(|_| format!("bad value for --stop-after-shards: {s}")))
+        .transpose()?;
     no_leftovers(args)?;
+    if stop_after_shards.is_some() && checkpoint.is_none() {
+        return Err("--stop-after-shards without --checkpoint would lose the partial run".into());
+    }
 
     let path = PathBuf::from(&graph);
     let file_bytes = std::fs::metadata(&path).map_err(|e| format!("{graph}: {e}"))?.len();
     let pool = ThreadPool::new(threads.max(1));
-    let cfg = ShardedConfig { shard_edges: shard_edges.max(1), certify, read_ahead };
+    let cfg = ShardedConfig {
+        shard_edges: shard_edges.max(1),
+        certify,
+        read_ahead,
+        checkpoint,
+        stop_after_shards,
+    };
 
     let t0 = Instant::now();
-    let run = sharded_msf_file(&path, &cfg, &pool).map_err(|e| e.to_string())?;
+    let run = match sharded_msf_file(&path, &cfg, &pool) {
+        Ok(run) => run,
+        Err(ShardedError::Interrupted { shards_done, shards_total }) => {
+            // Deliberate interruption is not a failure: the manifest holds
+            // shards_done folded shards, and the same command line resumes.
+            println!(
+                "run {graph}: interrupted after shard {shards_done}/{shards_total}; \
+                 re-run with the same --checkpoint to resume"
+            );
+            std::process::exit(3);
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if let Some(done) = run.resumed_from {
+        println!("resumed from checkpoint: {done} shards skipped");
+    }
 
     let report = RunReport {
         graph,

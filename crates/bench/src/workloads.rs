@@ -13,7 +13,7 @@ use llp_graph::generators::{
     erdos_renyi_stream, rmat, rmat_stream, road_network, RmatParams, RoadParams,
     DEFAULT_CHUNK_EDGES,
 };
-use llp_graph::io::{read_dimacs, BinaryWriter};
+use llp_graph::io::{read_dimacs, BinaryFileWriter};
 use llp_graph::{CsrGraph, EdgeKey, VertexId};
 use std::io::BufRead;
 use std::path::Path;
@@ -207,9 +207,10 @@ pub fn stream_to_binary(
 ) -> Result<StreamedFile, String> {
     let n = 1u64 << scale;
     let chunk_edges = if chunk_edges == 0 { DEFAULT_CHUNK_EDGES } else { chunk_edges };
-    let file = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let mut w = BinaryWriter::new(std::io::BufWriter::new(file), n as usize)
-        .map_err(|e| e.to_string())?;
+    // Crash-safe path: the file lands under its real name only after a
+    // complete, fsynced write (a killed generation leaves no torn file).
+    let mut w = BinaryFileWriter::create(path, n as usize)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
     let sink = |chunk: &[llp_graph::Edge]| -> std::io::Result<()> {
         w.write_edges(chunk).map_err(|e| std::io::Error::other(e.to_string()))
     };
@@ -222,8 +223,7 @@ pub fn stream_to_binary(
         }
     }
     .map_err(|e| e.to_string())?;
-    let (buf, m) = w.finish().map_err(|e| e.to_string())?;
-    buf.into_inner().map_err(|e| e.to_string())?;
+    let m = w.finish().map_err(|e| e.to_string())?;
     let file_bytes = std::fs::metadata(path).map_err(|e| e.to_string())?.len();
     Ok(StreamedFile { num_vertices: n, num_edges: m, file_bytes })
 }

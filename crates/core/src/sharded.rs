@@ -49,7 +49,7 @@ use crate::result::MstResult;
 use crate::stats::AlgoStats;
 use crate::union_find::{ConcurrentUnionFind, UnionFind};
 use crate::verify::VerifyError;
-use llp_graph::io::{read_binary_range, write_binary, IoError};
+use llp_graph::io::{faulty_reader, read_binary_range, write_binary, IoError};
 use llp_graph::{CsrGraph, Edge, EdgeKey};
 use llp_runtime::sort::par_sort_by_key;
 use llp_runtime::sync::Mutex;
@@ -57,13 +57,12 @@ use llp_runtime::{
     parallel_for_chunks, partition::retain_parallel, telemetry, ParallelForConfig, ScratchArena,
     ThreadPool,
 };
-use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 
 /// Tuning knobs for [`sharded_msf_file`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ShardedConfig {
     /// Maximum edge records per shard. The build's transient memory is
     /// roughly `64 B × shard_edges` (contraction buffers) plus the
@@ -75,6 +74,18 @@ pub struct ShardedConfig {
     /// Shards the reader thread may buffer ahead of the consumer; total
     /// resident shards are bounded by `read_ahead + 1`.
     pub read_ahead: usize,
+    /// Crash-safe checkpointing: after every completed shard the
+    /// accumulated forest and stream position are written to this path
+    /// (tmp + fsync + atomic rename), and a later run against the same
+    /// file resumes from the last completed shard instead of byte zero.
+    /// A missing, torn or mismatched manifest is ignored (fresh start);
+    /// the manifest is removed once a run fully succeeds.
+    pub checkpoint: Option<PathBuf>,
+    /// Deterministic interruption for tests and the fault matrix: stop
+    /// with [`ShardedError::Interrupted`] once this many shards are
+    /// complete (checkpoint already durable), as if the process had been
+    /// killed at the cleanest possible instant.
+    pub stop_after_shards: Option<usize>,
 }
 
 impl Default for ShardedConfig {
@@ -83,6 +94,8 @@ impl Default for ShardedConfig {
             shard_edges: 1 << 24,
             certify: true,
             read_ahead: 1,
+            checkpoint: None,
+            stop_after_shards: None,
         }
     }
 }
@@ -106,6 +119,9 @@ pub struct ShardedRun {
     /// Candidates discarded by the cross-shard Filter-Kruskal rule
     /// before the merge scan saw them.
     pub filtered_edges: u64,
+    /// `Some(s)` when the run resumed from a checkpoint with `s` shards
+    /// already complete (so only `shards - s` were processed here).
+    pub resumed_from: Option<usize>,
 }
 
 /// A sharded run failed: either the file is unreadable/corrupt, or the
@@ -116,6 +132,15 @@ pub enum ShardedError {
     Io(IoError),
     /// The certification sweep rejected the computed forest.
     Verify(VerifyError),
+    /// The run stopped at a configured shard boundary
+    /// ([`ShardedConfig::stop_after_shards`]) with a durable checkpoint;
+    /// re-running with the same checkpoint path picks up from here.
+    Interrupted {
+        /// Shards complete (and checkpointed) when the run stopped.
+        shards_done: usize,
+        /// Total shards the file cuts into.
+        shards_total: usize,
+    },
 }
 
 impl std::fmt::Display for ShardedError {
@@ -123,6 +148,14 @@ impl std::fmt::Display for ShardedError {
         match self {
             ShardedError::Io(e) => write!(f, "sharded msf: {e}"),
             ShardedError::Verify(e) => write!(f, "sharded msf failed certification: {e}"),
+            ShardedError::Interrupted {
+                shards_done,
+                shards_total,
+            } => write!(
+                f,
+                "sharded msf interrupted at shard {shards_done}/{shards_total} \
+                 (checkpoint durable; re-run to resume)"
+            ),
         }
     }
 }
@@ -150,19 +183,25 @@ fn stream_shards(
     total_edges: u64,
     shard_edges: usize,
     read_ahead: usize,
+    start_edge: u64,
 ) -> Receiver<Result<Vec<Edge>, IoError>> {
     let (tx, rx) = sync_channel(read_ahead.max(1));
     let path: PathBuf = path.to_path_buf();
     let step = shard_edges.max(1) as u64;
     std::thread::spawn(move || {
+        // The stream runs through the seeded fault injector (site
+        // `sharded.reader`): under an active fault seed this thread sees
+        // short reads, transient errors, sticky truncation and detectable
+        // corruption, all of which surface to the consumer as classified
+        // IoErrors through the same channel as real disk failures.
         let mut file = match std::fs::File::open(&path) {
-            Ok(f) => BufReader::new(f),
+            Ok(f) => faulty_reader(f, "sharded.reader"),
             Err(e) => {
                 let _ = tx.send(Err(IoError::Io(e)));
                 return;
             }
         };
-        let mut lo = 0u64;
+        let mut lo = start_edge;
         while lo < total_edges {
             let hi = (lo + step).min(total_edges);
             // Rewind: the range reader validates header + length at the
@@ -179,6 +218,145 @@ fn stream_shards(
         }
     });
     rx
+}
+
+/// Checkpoint manifest magic: format version baked into the last byte.
+const CKPT_MAGIC: &[u8; 8] = b"LLPCKPT\x01";
+
+/// State recovered from (or about to be persisted as) a checkpoint
+/// manifest: the accumulated canonical forest after `shards_done` shards,
+/// plus the running counters the final report carries.
+struct Checkpoint {
+    shards_done: u64,
+    candidate_edges: u64,
+    filtered_edges: u64,
+    acc: Vec<Edge>,
+}
+
+/// FNV-1a over the manifest body, so a torn checkpoint write (the
+/// non-atomic failure mode the tmp+rename dance already makes near
+/// impossible) is detected rather than resumed from.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// Serializes and durably installs the checkpoint: body to `<path>.tmp`,
+/// fsync, atomic rename over `path`, parent-directory fsync (best
+/// effort). After this returns, a kill at any instant leaves either the
+/// previous complete manifest or this one — never a torn hybrid.
+fn write_checkpoint(
+    path: &Path,
+    file_bytes: u64,
+    n: u64,
+    m: u64,
+    shard_edges: u64,
+    ck: &Checkpoint,
+) -> Result<(), IoError> {
+    let mut buf = Vec::with_capacity(80 + ck.acc.len() * 16);
+    buf.extend_from_slice(CKPT_MAGIC);
+    for v in [
+        file_bytes,
+        n,
+        m,
+        shard_edges,
+        ck.shards_done,
+        ck.candidate_edges,
+        ck.filtered_edges,
+        ck.acc.len() as u64,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    for e in &ck.acc {
+        buf.extend_from_slice(&e.u.to_le_bytes());
+        buf.extend_from_slice(&e.v.to_le_bytes());
+        buf.extend_from_slice(&e.w.to_le_bytes());
+    }
+    let sum = fnv64(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    let mut f = std::fs::File::create(&tmp)?;
+    std::io::Write::write_all(&mut f, &buf)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads and validates a checkpoint manifest against the run it is about
+/// to resume. Returns `None` — a silent fresh start — when the file is
+/// missing, torn (bad magic/length/checksum), describes a different
+/// source file or shard size, or carries records the validators reject.
+/// A checkpoint can make a run *skip* work, never trust bad state.
+fn load_checkpoint(
+    path: &Path,
+    file_bytes: u64,
+    n: u64,
+    m: u64,
+    shard_edges: u64,
+) -> Option<Checkpoint> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < 80 || &bytes[..8] != CKPT_MAGIC {
+        return None;
+    }
+    let (body, sum) = bytes.split_at(bytes.len() - 8);
+    if fnv64(body) != u64::from_le_bytes(sum.try_into().ok()?) {
+        return None;
+    }
+    let word = |i: usize| u64::from_le_bytes(body[8 + i * 8..16 + i * 8].try_into().unwrap());
+    if word(0) != file_bytes || word(1) != n || word(2) != m || word(3) != shard_edges {
+        return None; // a different file, or different shard geometry
+    }
+    let shards_done = word(4);
+    let acc_len = word(7);
+    if shards_done > m.div_ceil(shard_edges.max(1)) || acc_len >= n.max(1) {
+        return None; // more shards/forest edges than the file can have
+    }
+    if body.len() as u64 != 72 + acc_len * 16 {
+        return None;
+    }
+    let mut acc = Vec::with_capacity(acc_len as usize);
+    let mut prev_key: Option<EdgeKey> = None;
+    for i in 0..acc_len as usize {
+        let rec = &body[72 + i * 16..72 + (i + 1) * 16];
+        let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let w = f64::from_le_bytes(rec[8..16].try_into().unwrap());
+        let e = Edge::new(u, v, w);
+        // The accumulator is a key-sorted forest over [0, n): anything
+        // else is corruption that slipped past the checksum.
+        if (u as u64) >= n || (v as u64) >= n || u == v || !w.is_finite() {
+            return None;
+        }
+        if prev_key.is_some_and(|p| p >= e.key()) {
+            return None;
+        }
+        prev_key = Some(e.key());
+        acc.push(e);
+    }
+    Some(Checkpoint {
+        shards_done,
+        candidate_edges: word(5),
+        filtered_edges: word(6),
+        acc,
+    })
 }
 
 /// Dense ascending renumbering of the vertices a shard touches, reusable
@@ -241,10 +419,11 @@ pub fn sharded_msf_file(
     pool: &ThreadPool,
 ) -> Result<ShardedRun, ShardedError> {
     let (n, m) = {
-        let mut f = BufReader::new(std::fs::File::open(path).map_err(IoError::Io)?);
+        let mut f = faulty_reader(std::fs::File::open(path).map_err(IoError::Io)?, "sharded.probe");
         let probe = read_binary_range(&mut f, 0, 0)?;
         (probe.num_vertices, probe.total_edges)
     };
+    let file_bytes = std::fs::metadata(path).map_err(IoError::Io)?.len();
     let shard_edges = cfg.shard_edges.max(1);
     let shards = m.div_ceil(shard_edges as u64) as usize;
     let par = ParallelForConfig::with_grain(512);
@@ -257,10 +436,39 @@ pub fn sharded_msf_file(
     let mut candidate_edges = 0u64;
     let mut filtered_edges = 0u64;
 
+    // Resume: adopt a durable checkpoint's forest and counters, then
+    // rebuild the filter's union-find from the forest alone. That is
+    // sound because the accumulator after shard k is the canonical MSF of
+    // every candidate published to the union-find so far, and an MSF
+    // preserves the connectivity of its input edge set — so
+    // `connectivity(cuf) == connectivity(acc)` at every shard boundary,
+    // and re-unioning acc's edges reproduces the filter state exactly.
+    let mut start_shard = 0usize;
+    let mut resumed_from = None;
+    if let Some(ck_path) = &cfg.checkpoint {
+        if let Some(ck) = load_checkpoint(ck_path, file_bytes, n as u64, m, shard_edges as u64) {
+            for e in &ck.acc {
+                cuf.union(e.u, e.v);
+            }
+            acc = ck.acc;
+            candidate_edges = ck.candidate_edges;
+            filtered_edges = ck.filtered_edges;
+            start_shard = ck.shards_done as usize;
+            resumed_from = Some(start_shard);
+            telemetry::counter_add("sharded-resumes", 1);
+        }
+    }
+
     {
         let _s = telemetry::span("sharded-build");
-        let rx = stream_shards(path, m, shard_edges, cfg.read_ahead);
-        for _ in 0..shards {
+        let rx = stream_shards(
+            path,
+            m,
+            shard_edges,
+            cfg.read_ahead,
+            start_shard as u64 * shard_edges as u64,
+        );
+        for s in start_shard..shards {
             let mut edges = rx.recv().expect("shard reader hung up")?;
 
             // Contract the shard locally under the monotone dense relabel.
@@ -331,6 +539,25 @@ pub fn sharded_msf_file(
                 }
             }
             acc = merged;
+
+            // Durable progress: after this returns, a kill anywhere up to
+            // the next boundary resumes from shard s+1.
+            if let Some(ck_path) = &cfg.checkpoint {
+                let ck = Checkpoint {
+                    shards_done: s as u64 + 1,
+                    candidate_edges,
+                    filtered_edges,
+                    acc: std::mem::take(&mut acc),
+                };
+                write_checkpoint(ck_path, file_bytes, n as u64, m, shard_edges as u64, &ck)?;
+                acc = ck.acc;
+            }
+            if cfg.stop_after_shards.is_some_and(|k| s + 1 >= k) && s + 1 < shards {
+                return Err(ShardedError::Interrupted {
+                    shards_done: s + 1,
+                    shards_total: shards,
+                });
+            }
         }
     }
 
@@ -345,6 +572,13 @@ pub fn sharded_msf_file(
         certify_streaming(path, m, &result, cfg, pool)?;
     }
 
+    // The run is complete (and certified, if asked): the manifest has
+    // served its purpose and must not shadow a future run over a
+    // rewritten file of identical size.
+    if let Some(ck_path) = &cfg.checkpoint {
+        let _ = std::fs::remove_file(ck_path);
+    }
+
     Ok(ShardedRun {
         num_vertices: n,
         num_edges: m,
@@ -353,6 +587,7 @@ pub fn sharded_msf_file(
         certified: cfg.certify,
         candidate_edges,
         filtered_edges,
+        resumed_from,
     })
 }
 
@@ -373,7 +608,7 @@ fn certify_streaming(
     let n = {
         // The forest never names a vertex the header does not cover, but
         // the index must be built over the file's full vertex set.
-        let mut f = BufReader::new(std::fs::File::open(path).map_err(IoError::Io)?);
+        let mut f = faulty_reader(std::fs::File::open(path).map_err(IoError::Io)?, "sharded.probe");
         read_binary_range(&mut f, 0, 0)?.num_vertices
     };
     let index = PathMaxIndex::build_par(n, result, pool)?;
@@ -391,7 +626,7 @@ fn certify_streaming(
     let worst: Mutex<Option<(EdgeKey, VerifyError)>> = Mutex::new(None);
     let par = ParallelForConfig::with_grain(2048);
 
-    let rx = stream_shards(path, total_edges, cfg.shard_edges.max(1), cfg.read_ahead);
+    let rx = stream_shards(path, total_edges, cfg.shard_edges.max(1), cfg.read_ahead, 0);
     let shards = total_edges.div_ceil(cfg.shard_edges.max(1) as u64);
     for _ in 0..shards {
         let edges = rx.recv().expect("shard reader hung up")?;
@@ -523,6 +758,7 @@ mod tests {
             shard_edges: 100,
             certify: true,
             read_ahead: 2,
+            ..ShardedConfig::default()
         };
         let run = sharded_msf_file(&path, &cfg, &pool).unwrap();
         std::fs::remove_file(&path).unwrap();
@@ -554,6 +790,7 @@ mod tests {
             shard_edges: 64,
             certify: false,
             read_ahead: 1,
+            ..ShardedConfig::default()
         };
         let run = sharded_msf_file(&path, &cfg, &pool).unwrap();
 
@@ -579,6 +816,142 @@ mod tests {
             matches!(err, ShardedError::Verify(VerifyError::CutViolation(_))),
             "{err}"
         );
+    }
+
+    fn write_graph_file(g: &CsrGraph, tag: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "llp-sharded-{tag}-{}.bin",
+            std::process::id()
+        ));
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        write_binary(g, &mut w).unwrap();
+        std::io::Write::flush(&mut w).unwrap();
+        path
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identical() {
+        let g = erdos_renyi(300, 1500, 17);
+        let path = write_graph_file(&g, "ckpt");
+        let ck = path.with_extension("ckpt");
+        let pool = pool();
+        let base = ShardedConfig {
+            shard_edges: 128,
+            certify: true,
+            read_ahead: 1,
+            checkpoint: Some(ck.clone()),
+            stop_after_shards: None,
+        };
+        let uninterrupted = sharded_msf_file(&path, &base, &pool).unwrap();
+        assert!(uninterrupted.resumed_from.is_none());
+        assert!(!ck.exists(), "successful run must remove its checkpoint");
+
+        // Interrupt at every boundary; resume must certify and match the
+        // uninterrupted forest bit for bit.
+        let shards = uninterrupted.shards;
+        for stop in [1, shards / 2, shards - 1] {
+            let mut cfg = base.clone();
+            cfg.stop_after_shards = Some(stop);
+            let err = sharded_msf_file(&path, &cfg, &pool).unwrap_err();
+            match err {
+                ShardedError::Interrupted {
+                    shards_done,
+                    shards_total,
+                } => {
+                    assert_eq!(shards_done, stop);
+                    assert_eq!(shards_total, shards);
+                }
+                other => panic!("expected Interrupted, got {other}"),
+            }
+            assert!(ck.exists(), "interrupted run must leave its checkpoint");
+
+            let resumed = sharded_msf_file(&path, &base, &pool).unwrap();
+            assert_eq!(resumed.resumed_from, Some(stop), "stop {stop}");
+            assert!(resumed.certified);
+            assert_eq!(
+                resumed.result.edges, uninterrupted.result.edges,
+                "stop {stop}: resumed forest must be bit-identical"
+            );
+            assert_eq!(resumed.candidate_edges, uninterrupted.candidate_edges);
+            assert_eq!(resumed.filtered_edges, uninterrupted.filtered_edges);
+            assert!(!ck.exists());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_or_mismatched_checkpoint_falls_back_to_fresh_start() {
+        let g = erdos_renyi(200, 900, 23);
+        let path = write_graph_file(&g, "ckpt-torn");
+        let ck = path.with_extension("ckpt");
+        let pool = pool();
+        let base = ShardedConfig {
+            shard_edges: 100,
+            certify: true,
+            read_ahead: 1,
+            checkpoint: Some(ck.clone()),
+            stop_after_shards: None,
+        };
+        let want = sharded_msf_file(&path, &base, &pool).unwrap();
+
+        // Leave a real checkpoint behind, then tamper with it.
+        let mut cfg = base.clone();
+        cfg.stop_after_shards = Some(2);
+        sharded_msf_file(&path, &cfg, &pool).unwrap_err();
+        let pristine = std::fs::read(&ck).unwrap();
+
+        // (a) torn tail: checksum fails.
+        std::fs::write(&ck, &pristine[..pristine.len() - 5]).unwrap();
+        let r = sharded_msf_file(&path, &base, &pool).unwrap();
+        assert!(r.resumed_from.is_none(), "torn checkpoint must be ignored");
+        assert_eq!(r.result.edges, want.result.edges);
+
+        // (b) flipped byte inside the forest: checksum fails.
+        sharded_msf_file(&path, &cfg, &pool).unwrap_err();
+        let mut bad = std::fs::read(&ck).unwrap();
+        let mid = 72 + 4;
+        bad[mid] ^= 0x40;
+        std::fs::write(&ck, &bad).unwrap();
+        let r = sharded_msf_file(&path, &base, &pool).unwrap();
+        assert!(r.resumed_from.is_none());
+        assert_eq!(r.result.edges, want.result.edges);
+
+        // (c) shard-geometry mismatch: a valid manifest for different
+        // shard_edges must not be adopted.
+        sharded_msf_file(&path, &cfg, &pool).unwrap_err();
+        let mut other = base.clone();
+        other.shard_edges = 150;
+        let r = sharded_msf_file(&path, &other, &pool).unwrap();
+        assert!(r.resumed_from.is_none(), "geometry mismatch must be ignored");
+        assert_eq!(r.result.canonical_keys(), want.result.canonical_keys());
+
+        let _ = std::fs::remove_file(&ck);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_survives_process_style_reuse_of_completed_manifest() {
+        // A checkpoint claiming *all* shards done: the resumed run should
+        // skip straight to certification and still succeed.
+        let g = erdos_renyi(150, 600, 31);
+        let path = write_graph_file(&g, "ckpt-done");
+        let ck = path.with_extension("ckpt");
+        let pool = pool();
+        let shards = (g.num_edges() as u64).div_ceil(100) as usize;
+        let base = ShardedConfig {
+            shard_edges: 100,
+            certify: true,
+            read_ahead: 1,
+            checkpoint: Some(ck.clone()),
+            stop_after_shards: None,
+        };
+        let mut cfg = base.clone();
+        // stop_after_shards == shards means no interruption (the guard
+        // only fires strictly before the last shard).
+        cfg.stop_after_shards = Some(shards);
+        let full = sharded_msf_file(&path, &cfg, &pool).unwrap();
+        assert!(full.certified);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -32,7 +32,10 @@ use super::IoError;
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::edge::Edge;
-use std::io::{Read, Seek, SeekFrom, Write};
+use llp_runtime::faults::{self, Faulty};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"LLPGRAPH";
 const VERSION: u32 = 1;
@@ -91,6 +94,27 @@ pub fn read_binary_seek<R: Read + Seek>(mut r: R) -> Result<CsrGraph, IoError> {
     let header = read_header(&mut r)?;
     check_payload(header.m, remaining_len(&mut r)?)?;
     decode_graph(r, header, true)
+}
+
+/// Opens `path` and reads the whole graph, length-checked like
+/// [`read_binary_seek`]. The stream is routed through the seeded fault
+/// injector ([`llp_runtime::faults`], site `graph.file-read`): under an
+/// active fault seed this path sees short reads, transient `Interrupted`
+/// errors, sticky truncation and `0xFF` corruption, all of which the
+/// validators above must turn into classified [`IoError`]s — never a wrong
+/// graph. With faults compiled out or seedless it is a plain buffered read.
+pub fn read_binary_file(path: &Path) -> Result<CsrGraph, IoError> {
+    let f = File::open(path)?;
+    read_binary_seek(faulty_reader(f, "graph.file-read"))
+}
+
+/// Wraps an open file in the fault injector at the record-aligned layer
+/// (outside the [`BufReader`], so injected corruption lands inside exactly
+/// one validated header field or edge record — see the corruption notes in
+/// [`llp_runtime::faults`]). Shared by [`read_binary_file`] and the
+/// out-of-core shard streamer.
+pub fn faulty_reader(f: File, site: &str) -> Faulty<BufReader<File>> {
+    Faulty::new(BufReader::new(f), site, faults::FILE_READ)
 }
 
 /// Header facts: claimed vertex and edge counts.
@@ -404,6 +428,119 @@ impl<W: Write + Seek> BinaryWriter<W> {
     }
 }
 
+/// Crash-safe file-backed [`BinaryWriter`]: writes to `<dest>.tmp`, fsyncs,
+/// then atomically renames onto `dest` on [`finish`](BinaryFileWriter::finish).
+///
+/// The plain [`BinaryWriter`] back-patches the header's edge count as its
+/// last act, which means a process killed mid-generation leaves a file whose
+/// header is either the zero placeholder or — worse, if the kill lands
+/// between the patch and the final data flush reaching disk — a *valid-looking*
+/// header over a truncated body. Writing to a sibling `*.tmp` and renaming
+/// only after `fsync` closes that hole: readers either see the complete old
+/// file, the complete new file, or no file at all; a leftover `*.tmp` is
+/// never picked up by any reader and is rejected by all of them anyway
+/// (placeholder header vs. non-empty payload).
+///
+/// The byte stream runs through the seeded fault injector (site
+/// `graph.file-write`): under an active fault seed, short writes are retried
+/// by `write_all`, transient `Interrupted` errors are absorbed, and hard
+/// faults (ENOSPC, broken pipe) surface as classified errors *before* the
+/// rename — so a faulted generation never installs a destination file.
+///
+/// Dropping an unfinished writer removes the temporary file (best effort).
+pub struct BinaryFileWriter {
+    inner: Option<BinaryWriter<Faulty<BufWriter<File>>>>,
+    tmp: PathBuf,
+    dest: PathBuf,
+    finished: bool,
+}
+
+impl BinaryFileWriter {
+    /// Starts a file for `n` vertices at `<dest>.tmp`.
+    pub fn create(dest: &Path, n: usize) -> Result<Self, IoError> {
+        let tmp = tmp_path(dest);
+        let f = File::create(&tmp)?;
+        let w = Faulty::new(BufWriter::new(f), "graph.file-write", faults::FILE_WRITE);
+        match BinaryWriter::new(w, n) {
+            Ok(inner) => Ok(BinaryFileWriter {
+                inner: Some(inner),
+                tmp,
+                dest: dest.to_path_buf(),
+                finished: false,
+            }),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Appends one edge record, validated like the readers validate it.
+    pub fn write_edge(&mut self, e: Edge) -> Result<(), IoError> {
+        self.inner.as_mut().expect("writer finished").write_edge(e)
+    }
+
+    /// Appends a chunk of edge records.
+    pub fn write_edges(&mut self, edges: &[Edge]) -> Result<(), IoError> {
+        self.inner
+            .as_mut()
+            .expect("writer finished")
+            .write_edges(edges)
+    }
+
+    /// Number of edges written so far.
+    pub fn edges_written(&self) -> u64 {
+        self.inner.as_ref().expect("writer finished").edges_written()
+    }
+
+    /// Flushes, fsyncs the temporary, atomically renames it onto the
+    /// destination, and fsyncs the parent directory (best effort), so the
+    /// completed file survives a crash right after this call returns. Any
+    /// failure leaves the destination untouched.
+    pub fn finish(mut self) -> Result<u64, IoError> {
+        let (w, m) = self.inner.take().expect("writer finished").finish()?;
+        let f = w
+            .into_inner()
+            .into_inner()
+            .map_err(|e| IoError::Io(e.into_error()))?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&self.tmp, &self.dest)?;
+        self.finished = true;
+        if let Some(dir) = self.dest.parent() {
+            // Persist the rename itself; non-fatal on filesystems that
+            // refuse to open or fsync directories.
+            if let Ok(d) = File::open(if dir.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                dir
+            }) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(m)
+    }
+}
+
+impl Drop for BinaryFileWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Release the handle before unlinking (harmless to reorder on
+            // Unix, required for the rename-never-happened invariant to be
+            // observable on platforms that lock open files).
+            self.inner = None;
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Sibling temporary path for [`BinaryFileWriter`]: `<dest>.tmp`.
+fn tmp_path(dest: &Path) -> PathBuf {
+    let mut name = dest.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    dest.with_file_name(name)
+}
+
 /// Maps an unexpected end-of-input to a [`IoError::ParseBytes`] naming
 /// what was being read and where; other I/O failures pass through.
 fn eof_at(e: std::io::Error, offset: u64, what: &str) -> IoError {
@@ -424,6 +561,86 @@ fn read_u64<R: Read>(r: &mut R, offset: u64, what: &str) -> Result<u64, IoError>
     let mut b = [0u8; 8];
     r.read_exact(&mut b).map_err(|e| eof_at(e, offset, what))?;
     Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(all(test, feature = "faults"))]
+mod fault_tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+
+    /// Under every fault seed, the file reader either returns the correct
+    /// graph or a classified error — never a different graph, never a
+    /// panic. This is the ingest leg of the never-lie invariant the
+    /// fault-matrix sweep enforces end to end.
+    #[test]
+    fn faulted_file_read_is_correct_or_classified() {
+        let _g = faults::test_serial_lock();
+        let dir = std::env::temp_dir().join(format!("llp-faultread-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dest = dir.join("g.bin");
+        let g = erdos_renyi(200, 800, 21);
+        faults::set_seed(None);
+        let mut w = BinaryFileWriter::create(&dest, 200).unwrap();
+        let edges: Vec<Edge> = g.edges().collect();
+        w.write_edges(&edges).unwrap();
+        w.finish().unwrap();
+
+        let (mut ok, mut classified) = (0u32, 0u32);
+        for seed in 1..=32 {
+            faults::set_seed(Some(seed));
+            match read_binary_file(&dest) {
+                Ok(got) => {
+                    assert_eq!(got, g, "seed {seed} returned a WRONG graph");
+                    ok += 1;
+                }
+                Err(IoError::ParseBytes(..)) | Err(IoError::Io(_)) => classified += 1,
+                Err(other) => panic!("seed {seed}: unexpected error class {other:?}"),
+            }
+        }
+        faults::set_seed(None);
+        assert!(classified > 0, "32 seeds should fault at least once");
+        // Transient-only seeds must still succeed sometimes, proving the
+        // retry paths (read_exact over Interrupted/short reads) work.
+        assert!(ok > 0, "32 seeds should also let some reads through");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A faulted atomic write either installs a byte-perfect file or
+    /// nothing at all.
+    #[test]
+    fn faulted_file_write_installs_complete_file_or_nothing() {
+        let _g = faults::test_serial_lock();
+        let dir = std::env::temp_dir().join(format!("llp-faultwrite-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = erdos_renyi(100, 400, 7);
+        let edges: Vec<Edge> = g.edges().collect();
+        let (mut ok, mut failed) = (0u32, 0u32);
+        for seed in 1..=32 {
+            faults::set_seed(Some(seed));
+            let dest = dir.join(format!("g{seed}.bin"));
+            let r = BinaryFileWriter::create(&dest, 100)
+                .and_then(|mut w| {
+                    w.write_edges(&edges)?;
+                    w.finish()
+                });
+            faults::set_seed(None);
+            match r {
+                Ok(m) => {
+                    assert_eq!(m, edges.len() as u64);
+                    assert_eq!(read_binary_file(&dest).unwrap(), g, "seed {seed}");
+                    ok += 1;
+                }
+                Err(_) => {
+                    assert!(!dest.exists(), "seed {seed}: failed write installed dest");
+                    failed += 1;
+                }
+            }
+        }
+        assert!(ok > 0 && failed > 0, "sweep should see both outcomes (ok={ok}, failed={failed})");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[cfg(test)]
@@ -739,6 +956,78 @@ mod tests {
         assert_eq!(read_binary_seek(Cursor::new(&buf)).unwrap(), g);
         let r = read_binary_range(Cursor::new(&buf), 0, m).unwrap();
         assert_eq!(r.edges.len(), edges.len());
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "llp-binary-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn file_writer_round_trips_through_rename() {
+        let dir = temp_dir("atomic");
+        let dest = dir.join("g.bin");
+        let g = erdos_renyi(40, 100, 13);
+        let mut w = BinaryFileWriter::create(&dest, 40).unwrap();
+        let edges: Vec<Edge> = g.edges().collect();
+        w.write_edges(&edges).unwrap();
+        assert!(!dest.exists(), "dest must not appear before finish");
+        assert!(tmp_path(&dest).exists());
+        let m = w.finish().unwrap();
+        assert_eq!(m, edges.len() as u64);
+        assert!(!tmp_path(&dest).exists(), "tmp must be renamed away");
+        assert_eq!(read_binary_file(&dest).unwrap(), g);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_writer_drop_removes_tmp_and_never_creates_dest() {
+        let dir = temp_dir("drop");
+        let dest = dir.join("g.bin");
+        {
+            let mut w = BinaryFileWriter::create(&dest, 8).unwrap();
+            w.write_edge(Edge::new(0, 1, 1.0)).unwrap();
+            // Abandoned (error path / early return): no finish.
+        }
+        assert!(!dest.exists(), "abandoned write must not install dest");
+        assert!(!tmp_path(&dest).exists(), "drop must clean the tmp");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_mid_gen_leftover_tmp_is_rejected_by_every_reader() {
+        // Simulate SIGKILL between writes: the bytes a killed
+        // BinaryFileWriter can have made durable are header (placeholder
+        // m = 0) + some prefix of records + no rename. Readers never look
+        // at `*.tmp` paths, and even read directly the torn file must be
+        // rejected, not half-parsed.
+        let dir = temp_dir("kill");
+        let dest = dir.join("g.bin");
+        let torn = {
+            let mut w = BinaryWriter::new(Cursor::new(Vec::new()), 8).unwrap();
+            for i in 0..100u32 {
+                w.write_edge(Edge::new(i % 8, (i + 1) % 8, i as f64)).unwrap();
+            }
+            // No finish(): m stays the placeholder 0, like a killed process.
+            // Reach into the buffered state the way the OS would see it.
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&w.buf);
+            bytes
+        };
+        std::fs::write(tmp_path(&dest), &torn).unwrap();
+        assert!(!dest.exists(), "no rename happened, dest must not exist");
+        let err = read_binary_slice(&torn).unwrap_err();
+        assert_eq!(parse_offset(err), 20, "placeholder header vs payload");
+        let err = read_binary_seek(Cursor::new(&torn)).unwrap_err();
+        assert_eq!(parse_offset(err), 20);
+        let err = read_binary_range(Cursor::new(&torn), 0, 0).unwrap_err();
+        assert_eq!(parse_offset(err), 20);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

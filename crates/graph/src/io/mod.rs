@@ -15,8 +15,8 @@ pub mod metis;
 pub mod text;
 
 pub use binary::{
-    read_binary, read_binary_range, read_binary_seek, read_binary_slice, write_binary,
-    BinaryWriter, EdgeRange,
+    faulty_reader, read_binary, read_binary_file, read_binary_range, read_binary_seek,
+    read_binary_slice, write_binary, BinaryFileWriter, BinaryWriter, EdgeRange,
 };
 pub use dimacs::{read_dimacs, write_dimacs};
 pub use metis::{read_metis, write_metis};

@@ -30,11 +30,15 @@
 //! * [`chaos`] — seeded schedule perturbation (randomized yields/delays at
 //!   chunk claims, shuffled broadcast start order, adversarial grains)
 //!   behind the `chaos` cargo feature, for concurrency testing.
+//! * [`faults`] — seeded I/O fault injection (short reads/writes, transient
+//!   errors, truncation, detectable corruption, ENOSPC) behind the `faults`
+//!   cargo feature, for robustness testing of the I/O and serving stack.
 
 pub mod atomics;
 pub mod bag;
 pub mod chaos;
 pub mod counters;
+pub mod faults;
 pub mod parallel_for;
 pub mod partition;
 pub mod pool;

@@ -11,15 +11,21 @@
 //!
 //! - [`protocol`] — length-prefixed frames and the query/response codec.
 //! - [`service`] — builds the certified index and answers queries.
-//! - [`server`] — blocking accept loop + worker pool, no external runtime.
-//! - [`loadgen`] — batch-size sweep, latency percentiles, and the
-//!   `llp-mst-serve-report/v1` JSON writer.
+//! - [`server`] — blocking accept loop + worker pool, no external
+//!   runtime; per-connection deadlines, bounded-queue load shedding
+//!   (the tag-4 overloaded frame), and graceful drain.
+//! - [`retry`] — full-jitter exponential backoff and the reconnecting
+//!   client that rides out shed/reaped/faulted connections.
+//! - [`loadgen`] — batch-size sweep, latency percentiles, retry counts,
+//!   and the `llp-mst-serve-report/v1` JSON writer.
 //!
 //! The `llp-mst-serve` binary front-ends all of it: `gen`, `serve`,
 //! `loadgen`, `bench` (in-process end-to-end with verification), and
-//! `fuzz-ingest` (the corrupt-file rejection matrix).
+//! `fuzz-ingest` (the corrupt-file rejection matrix, plus a seeded
+//! fault-injection sweep when built with the `faults` feature).
 
 pub mod loadgen;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 pub mod service;

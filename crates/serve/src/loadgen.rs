@@ -10,14 +10,11 @@
 //! [`MsfService`] — the same certified index the server answers from — so
 //! a passing run re-checks the server's classifications end to end.
 
-use crate::protocol::{
-    decode_responses, encode_queries, read_frame, write_frame, Query, Response, MAX_BATCH,
-    MAX_PAYLOAD,
-};
+use crate::protocol::{Query, Response, MAX_BATCH};
+use crate::retry::{RetryPolicy, RetryingClient};
 use crate::service::MsfService;
 use llp_runtime::rng::SmallRng;
-use std::io::{BufReader, BufWriter, Write};
-use std::net::TcpStream;
+use std::io::{BufWriter, Write};
 use std::time::Instant;
 
 /// One batch-size measurement.
@@ -35,6 +32,9 @@ pub struct SweepPoint {
     pub p50_us: f64,
     /// 99th-percentile per-query latency, microseconds.
     pub p99_us: f64,
+    /// Transparent reconnect-and-resend retries this point needed
+    /// (non-zero under load shedding or fault injection).
+    pub retries: u64,
 }
 
 /// Load-generator knobs.
@@ -73,6 +73,14 @@ fn random_query(rng: &mut SmallRng, n: u32) -> Query {
 
 /// Runs the sweep against `addr`. `verify` replays every response against
 /// a local service and fails on the first divergence.
+///
+/// The sweep runs through a [`RetryingClient`]: a shed connection (the
+/// overloaded frame), a reaped deadline, or an injected socket fault
+/// costs a reconnect-and-resend (counted per point in
+/// [`SweepPoint::retries`]) instead of failing the sweep. Every query is
+/// an idempotent read, so resending is always safe; with `verify` on, a
+/// retried frame's responses are still checked against the local
+/// certified index — retries never relax correctness.
 pub fn run_sweep(
     addr: &str,
     n: u32,
@@ -80,30 +88,21 @@ pub fn run_sweep(
     verify: Option<&MsfService>,
 ) -> Result<Vec<SweepPoint>, String> {
     assert!(n > 0, "cannot generate queries over an empty graph");
-    let conn = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    conn.set_nodelay(true).ok();
-    let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = BufWriter::new(conn);
+    let mut client = RetryingClient::new(addr, RetryPolicy::default(), cfg.seed ^ 0xB0FF);
 
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut points = Vec::new();
-    let mut payload = Vec::new();
     for &batch in &cfg.batches {
         let batch = batch.clamp(1, MAX_BATCH);
         let frames = cfg.queries_per_point.div_ceil(batch as u64).max(1);
         let mut frame_us: Vec<f64> = Vec::with_capacity(frames as usize);
         let mut fired = 0u64;
+        let retries_before = client.retries;
         let t0 = Instant::now();
         for _ in 0..frames {
             let queries: Vec<Query> = (0..batch).map(|_| random_query(&mut rng, n)).collect();
             let t = Instant::now();
-            encode_queries(&queries, &mut payload);
-            write_frame(&mut writer, &payload).map_err(|e| format!("send: {e}"))?;
-            let reply = read_frame(&mut reader, MAX_PAYLOAD)
-                .map_err(|e| format!("recv: {e}"))?
-                .ok_or_else(|| "server closed the connection mid-sweep".to_string())?;
-            let responses =
-                decode_responses(&reply, &queries).map_err(|e| format!("decode: {e}"))?;
+            let responses = client.exchange(&queries)?;
             frame_us.push(t.elapsed().as_secs_f64() * 1e6);
             fired += batch as u64;
             if let Some(local) = verify {
@@ -123,6 +122,7 @@ pub fn run_sweep(
             qps: fired as f64 / elapsed_s,
             p50_us: pct(0.50),
             p99_us: pct(0.99),
+            retries: client.retries - retries_before,
         });
     }
     Ok(points)
@@ -177,7 +177,7 @@ pub struct ReportInputs<'a> {
 ///   "threads": 4, "workers": 2, "verified": true,
 ///   "sweep": [
 ///     {"batch": 1, "queries": 100000, "elapsed_s": 1.0,
-///      "qps": 100000.0, "p50_us": 9.0, "p99_us": 31.0}
+///      "qps": 100000.0, "p50_us": 9.0, "p99_us": 31.0, "retries": 0}
 ///   ]
 /// }
 /// ```
@@ -208,8 +208,8 @@ pub fn write_report(path: &std::path::Path, inputs: &ReportInputs<'_>) -> std::i
         writeln!(
             f,
             "{{\"batch\":{},\"queries\":{},\"elapsed_s\":{:.6},\"qps\":{:.1},\
-             \"p50_us\":{:.2},\"p99_us\":{:.2}}}{}",
-            p.batch, p.queries, p.elapsed_s, p.qps, p.p50_us, p.p99_us, sep
+             \"p50_us\":{:.2},\"p99_us\":{:.2},\"retries\":{}}}{}",
+            p.batch, p.queries, p.elapsed_s, p.qps, p.p50_us, p.p99_us, p.retries, sep
         )?;
     }
     writeln!(f, "]}}")?;
@@ -229,6 +229,7 @@ mod tests {
             qps: 2000.0,
             p50_us: 8.0,
             p99_us: 20.0,
+            retries: 3,
         }];
         let dir = std::env::temp_dir().join("llp-serve-report-test");
         let path = dir.join("BENCH_serve.json");
@@ -249,6 +250,7 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("{\"schema\":\"llp-mst-serve-report/v1\""));
         assert!(text.contains("\"qps\":2000.0"));
+        assert!(text.contains("\"retries\":3"));
         // Balanced braces/brackets — the report is machine-readable.
         assert_eq!(
             text.matches('{').count(),

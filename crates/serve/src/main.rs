@@ -5,12 +5,14 @@
 //! llp-mst-serve serve      --graph g.bin [--addr 127.0.0.1:0] [--threads T]
 //!                          [--workers W] [--port-file p.txt]
 //!                          [--dynamic [--update-threads U]]
+//!                          [--read-timeout-ms 30000] [--write-timeout-ms 30000]
+//!                          [--queue-cap 64] [--retry-after-ms 100]
 //! llp-mst-serve loadgen    --addr HOST:PORT [--graph g.bin --verify] [--batches 1,16,256,4096]
 //!                          [--queries 100000] [--seed 42] [--report out.json] [--shutdown]
 //! llp-mst-serve bench      [--graph g.bin | --scale 16 --ef 16 --seed 1] [--threads T]
 //!                          [--workers W] [--queries N] [--batches ...]
 //!                          [--report BENCH_serve.json] [--min-qps 100000]
-//! llp-mst-serve fuzz-ingest
+//! llp-mst-serve fuzz-ingest [--fault-seeds N]
 //! ```
 //!
 //! `bench` is the one-shot certified pipeline: generate/load a graph,
@@ -19,7 +21,10 @@
 //! index, shut the server down, write the `llp-mst-serve-report/v1`
 //! JSON, and gate on `--min-qps`. `fuzz-ingest` runs the corrupt-file
 //! matrix against the hardened binary reader and fails if any corruption
-//! is accepted.
+//! is accepted; `--fault-seeds N` (needs the `faults` feature) addition-
+//! ally sweeps N seeds of injected file-I/O faults through the real
+//! file-backed read and write paths, asserting every run either matches
+//! the pristine graph bit-for-bit or fails with a classified error.
 
 use llp_graph::generators::{erdos_renyi, rmat, RmatParams};
 use llp_graph::io::{read_binary_range, read_binary_slice, write_binary, IoError};
@@ -27,7 +32,7 @@ use llp_graph::CsrGraph;
 use llp_runtime::ThreadPool;
 use llp_serve::loadgen::{run_sweep, write_report, LoadgenConfig, ReportInputs, SweepPoint};
 use llp_serve::protocol::{decode_responses, encode_queries, read_frame, write_frame, Query, Response, MAX_PAYLOAD};
-use llp_serve::server::run_server;
+use llp_serve::server::{run_server, ServerConfig};
 use llp_serve::service::{load_graph, BuildTimings, MsfService};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
@@ -128,8 +133,14 @@ fn cmd_gen(args: &mut Vec<String>) -> Result<(), String> {
     let out = take_opt(args, "--out")?.ok_or("--out is required")?;
     let graph = graph_from_args(args)?;
     no_leftovers(args)?;
-    let file = std::fs::File::create(&out).map_err(|e| format!("{out}: {e}"))?;
-    write_binary(&graph, std::io::BufWriter::new(file)).map_err(|e| format!("{out}: {e}"))?;
+    // Atomic install: the reader side (a server starting against this
+    // path) either sees the complete file or none at all.
+    let mut w = llp_graph::io::BinaryFileWriter::create(std::path::Path::new(&out), graph.num_vertices())
+        .map_err(|e| format!("{out}: {e}"))?;
+    for e in graph.edges() {
+        w.write_edge(e).map_err(|e| format!("{out}: {e}"))?;
+    }
+    w.finish().map_err(|e| format!("{out}: {e}"))?;
     println!(
         "wrote {} (n={}, m={})",
         out,
@@ -148,6 +159,14 @@ fn cmd_serve(args: &mut Vec<String>) -> Result<(), String> {
     let dynamic = take_flag(args, "--dynamic");
     let update_threads: usize =
         parse("--update-threads", take_opt(args, "--update-threads")?, 2)?;
+    // Robustness knobs; a timeout of 0 disables that deadline.
+    let read_timeout_ms: u64 =
+        parse("--read-timeout-ms", take_opt(args, "--read-timeout-ms")?, 30_000)?;
+    let write_timeout_ms: u64 =
+        parse("--write-timeout-ms", take_opt(args, "--write-timeout-ms")?, 30_000)?;
+    let queue_cap: usize = parse("--queue-cap", take_opt(args, "--queue-cap")?, 64)?;
+    let retry_after_ms: u32 =
+        parse("--retry-after-ms", take_opt(args, "--retry-after-ms")?, 100)?;
     no_leftovers(args)?;
 
     let graph = load_graph(&PathBuf::from(&graph_path)).map_err(|e| format!("{graph_path}: {e}"))?;
@@ -174,7 +193,16 @@ fn cmd_serve(args: &mut Vec<String>) -> Result<(), String> {
     if let Some(pf) = port_file {
         std::fs::write(&pf, format!("{}\n", local.port())).map_err(|e| format!("{pf}: {e}"))?;
     }
-    let accepted = run_server(listener, service, workers).map_err(|e| e.to_string())?;
+    let cfg = ServerConfig {
+        workers,
+        read_timeout: (read_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(read_timeout_ms)),
+        write_timeout: (write_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(write_timeout_ms)),
+        queue_cap,
+        retry_after_ms,
+    };
+    let accepted = run_server(listener, service, cfg).map_err(|e| e.to_string())?;
     println!("shut down after {accepted} connections");
     Ok(())
 }
@@ -235,11 +263,11 @@ fn loadgen_config(args: &mut Vec<String>) -> Result<LoadgenConfig, String> {
 }
 
 fn print_sweep(sweep: &[SweepPoint]) {
-    println!("batch      queries        qps    p50_us    p99_us");
+    println!("batch      queries        qps    p50_us    p99_us   retries");
     for p in sweep {
         println!(
-            "{:>5} {:>12} {:>10.0} {:>9.2} {:>9.2}",
-            p.batch, p.queries, p.qps, p.p50_us, p.p99_us
+            "{:>5} {:>12} {:>10.0} {:>9.2} {:>9.2} {:>9}",
+            p.batch, p.queries, p.qps, p.p50_us, p.p99_us, p.retries
         );
     }
 }
@@ -323,7 +351,8 @@ fn cmd_bench(args: &mut Vec<String>) -> Result<(), String> {
     let addr = listener.local_addr().map_err(|e| e.to_string())?.to_string();
     let server = {
         let service = Arc::clone(&service);
-        std::thread::spawn(move || run_server(listener, service, workers))
+        let cfg = ServerConfig::with_workers(workers);
+        std::thread::spawn(move || run_server(listener, service, cfg))
     };
 
     let n = service.n as u32;
@@ -367,7 +396,10 @@ fn cmd_bench(args: &mut Vec<String>) -> Result<(), String> {
 /// The corrupt-file matrix: every mutation of a valid binary graph file
 /// must be rejected by the hardened reader — with a `ParseBytes` error
 /// (never a panic, never a giant allocation) for format violations.
-fn cmd_fuzz_ingest(args: &mut [String]) -> Result<(), String> {
+/// `--fault-seeds N` additionally sweeps N seeds of injected file-I/O
+/// faults through the real file-backed read/write paths.
+fn cmd_fuzz_ingest(args: &mut Vec<String>) -> Result<(), String> {
+    let fault_seeds: u64 = parse("--fault-seeds", take_opt(args, "--fault-seeds")?, 0)?;
     no_leftovers(args)?;
     let graph = erdos_renyi(64, 128, 7);
     let mut pristine = Vec::new();
@@ -481,6 +513,96 @@ fn cmd_fuzz_ingest(args: &mut [String]) -> Result<(), String> {
     println!(
         "fuzz-ingest: all {} corruptions rejected",
         cases.len() + range_cases.len()
+    );
+    if fault_seeds > 0 {
+        fault_sweep(&graph, &pristine, fault_seeds)?;
+    }
+    Ok(())
+}
+
+/// Seeded fault-injection sweep over the file-backed ingest paths: for
+/// every seed, a read of a pristine file through the faulty reader must
+/// either reproduce the pristine graph exactly or fail with a classified
+/// `IoError`; a faulted [`BinaryFileWriter`] run must install a complete,
+/// re-readable file or nothing at all. Any third outcome — a *wrong*
+/// graph, a torn file under the destination name — fails the sweep.
+///
+/// [`BinaryFileWriter`]: llp_graph::io::BinaryFileWriter
+fn fault_sweep(graph: &CsrGraph, pristine: &[u8], seeds: u64) -> Result<(), String> {
+    use llp_runtime::faults;
+    if !faults::compiled_in() {
+        return Err(
+            "--fault-seeds needs fault injection compiled in; rebuild with --features faults"
+                .into(),
+        );
+    }
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let src = dir.join(format!("llp-fuzz-faults-{pid}.bin"));
+    std::fs::write(&src, pristine).map_err(|e| e.to_string())?;
+
+    let (mut clean, mut classified) = (0u64, 0u64);
+    let mut run = || -> Result<(), String> {
+        for seed in 1..=seeds {
+            faults::set_seed(Some(seed));
+            // Read leg: faulty reader over the pristine file.
+            match llp_graph::io::read_binary_file(&src) {
+                Ok(g) if g == *graph => clean += 1,
+                Ok(g) => {
+                    return Err(format!(
+                        "seed {seed}: read produced a WRONG graph (n={}, m={}) \
+                         instead of an error",
+                        g.num_vertices(),
+                        g.num_edges()
+                    ))
+                }
+                Err(IoError::ParseBytes(..) | IoError::Io(..)) => classified += 1,
+                Err(e) => return Err(format!("seed {seed}: unclassified error {e}")),
+            }
+            // Write leg: faulty writer must install completely or not at all.
+            let dest = dir.join(format!("llp-fuzz-faults-{pid}-w{seed}.bin"));
+            let wrote = llp_graph::io::BinaryFileWriter::create(&dest, graph.num_vertices())
+                .and_then(|mut w| {
+                    for e in graph.edges() {
+                        w.write_edge(e)?;
+                    }
+                    w.finish()
+                });
+            match wrote {
+                Ok(_) => {
+                    let g = llp_graph::io::read_binary_file(&dest);
+                    std::fs::remove_file(&dest).ok();
+                    match g {
+                        Ok(g) if g == *graph => clean += 1,
+                        // The *read-back* itself ran under the seed and may
+                        // fault; that is the read leg's territory, not a
+                        // torn install.
+                        Err(IoError::ParseBytes(..) | IoError::Io(..)) => classified += 1,
+                        other => {
+                            return Err(format!(
+                                "seed {seed}: finished write read back wrong: {other:?}"
+                            ))
+                        }
+                    }
+                }
+                Err(_) if dest.exists() => {
+                    std::fs::remove_file(&dest).ok();
+                    return Err(format!(
+                        "seed {seed}: failed write left a file under the destination name"
+                    ));
+                }
+                Err(_) => classified += 1,
+            }
+        }
+        Ok(())
+    };
+    let result = run();
+    faults::set_seed(None);
+    std::fs::remove_file(&src).ok();
+    result?;
+    println!(
+        "fault sweep: {seeds} seeds x 2 legs -> {clean} clean runs, \
+         {classified} classified errors, 0 wrong answers"
     );
     Ok(())
 }

@@ -24,6 +24,7 @@
 //! | 5 | `insert(a, b, w)` | queue edge insertion (dynamic servers) |
 //! | 6 | `delete(a, b)` | queue edge deletion (dynamic servers) |
 //! | 7 | `epoch` | latest certified epoch summary |
+//! | 8 | `status` | server health: epoch, snapshot age, queue depth, degraded flag |
 //!
 //! Response records (`tag` = status): `1` = answer in `a`/`b`/`w`
 //! (component id in `a`; bottleneck edge as `a`=lo, `b`=hi, `w`=weight;
@@ -36,8 +37,11 @@
 //! A request the server cannot *decode* is answered with a one-record
 //! **error frame** (`tag` = `3`) before the connection closes — the peer
 //! learns its frame was malformed instead of watching the socket drop.
-//! [`decode_responses`] surfaces that frame as a [`ProtoError`] whatever
-//! the sent batch was.
+//! A server shedding load answers the connection with a one-record
+//! **overloaded frame** (`tag` = `4`, `a` = suggested retry delay in
+//! milliseconds) before closing — the client should back off and retry
+//! rather than treat the connection as failed. [`decode_responses`]
+//! surfaces both as [`RecvError`] variants whatever the sent batch was.
 //!
 //! The decoder never trusts the peer: frames are capped at
 //! [`MAX_BATCH`] records, the length prefix must agree with the record
@@ -75,6 +79,9 @@ pub enum Query {
     Delete(u32, u32),
     /// The latest certified epoch (number, trees, total weight).
     Epoch,
+    /// Server health: epoch, snapshot age, update-queue depth, and
+    /// whether the served snapshot is degraded (a later epoch failed).
+    Status,
 }
 
 /// A server answer, in request order.
@@ -108,6 +115,19 @@ pub enum Response {
         trees: u32,
         /// Total weight of that epoch's certified forest.
         total_weight: f64,
+    },
+    /// `status`: observable server health, so degraded mode (serving a
+    /// stale snapshot after a failed epoch) is visible rather than silent.
+    Status {
+        /// Epoch of the snapshot actually being served.
+        epoch: u32,
+        /// Pending updates queued for the next epoch (static servers: 0).
+        queue_depth: u32,
+        /// Seconds since the served snapshot was published.
+        snapshot_age_s: f64,
+        /// True when the last epoch build failed and queries are being
+        /// answered from an older certified snapshot.
+        degraded: bool,
     },
     /// The query named a vertex the graph does not have, inserted a
     /// self-loop, or sent an update to a static server.
@@ -156,6 +176,7 @@ pub fn encode_queries(batch: &[Query], out: &mut Vec<u8>) {
             Query::Insert(u, v, w) => push_record(out, 5, u, v, w),
             Query::Delete(u, v) => push_record(out, 6, u, v, 0.0),
             Query::Epoch => push_record(out, 7, 0, 0, 0.0),
+            Query::Status => push_record(out, 8, 0, 0, 0.0),
         }
     }
 }
@@ -188,6 +209,7 @@ pub fn decode_queries(payload: &[u8]) -> Result<Vec<Query>, ProtoError> {
                 5 => finite(Query::Insert(a, b, w)),
                 6 => Ok(Query::Delete(a, b)),
                 7 => Ok(Query::Epoch),
+                8 => Ok(Query::Status),
                 other => Err(ProtoError(format!("record #{i}: unknown opcode {other}"))),
             }
         })
@@ -216,6 +238,19 @@ pub fn encode_responses(batch: &[Response], out: &mut Vec<u8>) {
                 trees,
                 total_weight,
             } => push_record(out, 1, epoch, trees, total_weight),
+            Response::Status {
+                epoch,
+                queue_depth,
+                snapshot_age_s,
+                degraded,
+            } => push_record(
+                out,
+                1,
+                epoch,
+                // Depth in the low 31 bits, degraded flag in the top bit.
+                (queue_depth & 0x7FFF_FFFF) | (u32::from(degraded) << 31),
+                snapshot_age_s,
+            ),
             Response::Invalid => push_record(out, 2, 0, 0, 0.0),
         }
     }
@@ -230,27 +265,75 @@ pub fn encode_error_response(out: &mut Vec<u8>) {
     push_record(out, STATUS_ERROR, 0, 0, 0.0);
 }
 
+/// Serializes the one-record overloaded frame a shedding server sends to
+/// a connection it will not serve (tag [`STATUS_OVERLOADED`], `a` = the
+/// suggested retry delay in milliseconds), just before closing it.
+pub fn encode_overloaded_response(out: &mut Vec<u8>, retry_after_ms: u32) {
+    out.clear();
+    out.extend_from_slice(&1u32.to_le_bytes());
+    push_record(out, STATUS_OVERLOADED, retry_after_ms, 0, 0.0);
+}
+
 /// Response tag of the malformed-request error frame.
 pub const STATUS_ERROR: u8 = 3;
+/// Response tag of the load-shedding frame (`a` = retry-after, ms).
+pub const STATUS_OVERLOADED: u8 = 4;
+
+/// Why a response payload did not decode into answers.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// The payload is malformed, or the server said ours was
+    /// (the tag-3 error frame).
+    Proto(ProtoError),
+    /// The server shed this connection (the tag-4 overloaded frame);
+    /// retry after the suggested backoff instead of failing.
+    Overloaded {
+        /// Server-suggested retry delay in milliseconds.
+        retry_after_ms: u32,
+    },
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Proto(e) => write!(f, "{e}"),
+            RecvError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl From<ProtoError> for RecvError {
+    fn from(e: ProtoError) -> Self {
+        RecvError::Proto(e)
+    }
+}
 
 /// Parses a response payload. Response records are positional — their
 /// meaning depends on the query that prompted them — so the caller
 /// supplies the queries it sent.
-pub fn decode_responses(payload: &[u8], sent: &[Query]) -> Result<Vec<Response>, ProtoError> {
+pub fn decode_responses(payload: &[u8], sent: &[Query]) -> Result<Vec<Response>, RecvError> {
     let records = check_counts(payload)?;
     let count = records.len() / RECORD_BYTES;
-    // A one-record error frame outranks positional decoding: the server
-    // is telling us it could not parse what we sent.
+    // A one-record error or overloaded frame outranks positional
+    // decoding: the server is talking about the connection, not
+    // answering the batch.
     if count == 1 && records[0] == STATUS_ERROR {
-        return Err(ProtoError(
-            "server rejected the request as malformed".into(),
-        ));
+        return Err(ProtoError("server rejected the request as malformed".into()).into());
+    }
+    if count == 1 && records[0] == STATUS_OVERLOADED {
+        let (_, retry_after_ms, _, _) = split_record(records);
+        return Err(RecvError::Overloaded { retry_after_ms });
     }
     if count != sent.len() {
         return Err(ProtoError(format!(
             "{count} responses to {} queries",
             sent.len()
-        )));
+        ))
+        .into());
     }
     records
         .chunks_exact(RECORD_BYTES)
@@ -283,9 +366,16 @@ pub fn decode_responses(payload: &[u8], sent: &[Query]) -> Result<Vec<Response>,
                     trees: b,
                     total_weight: w,
                 },
+                Query::Status => Response::Status {
+                    epoch: a,
+                    queue_depth: b & 0x7FFF_FFFF,
+                    snapshot_age_s: w,
+                    degraded: b >> 31 == 1,
+                },
             })
         })
-        .collect()
+        .collect::<Result<Vec<_>, ProtoError>>()
+        .map_err(Into::into)
 }
 
 /// Shared payload validation: count word present, count within
@@ -459,9 +549,47 @@ mod tests {
         encode_error_response(&mut buf);
         // Whatever we sent, the error frame wins.
         for sent in [vec![Query::Info], vec![Query::Component(0); 3]] {
-            let err = decode_responses(&buf, &sent).unwrap_err();
-            assert!(err.0.contains("malformed"), "{err}");
+            match decode_responses(&buf, &sent).unwrap_err() {
+                RecvError::Proto(e) => assert!(e.0.contains("malformed"), "{e}"),
+                other => panic!("expected Proto, got {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn overloaded_frame_decodes_with_retry_hint() {
+        let mut buf = Vec::new();
+        encode_overloaded_response(&mut buf, 250);
+        for sent in [vec![Query::Info], vec![Query::Component(0); 3]] {
+            assert_eq!(
+                decode_responses(&buf, &sent).unwrap_err(),
+                RecvError::Overloaded { retry_after_ms: 250 }
+            );
+        }
+    }
+
+    #[test]
+    fn status_round_trips_including_degraded_flag() {
+        let sent = vec![Query::Status, Query::Status];
+        let mut buf = Vec::new();
+        encode_queries(&sent, &mut buf);
+        assert_eq!(decode_queries(&buf).unwrap(), sent);
+        let batch = vec![
+            Response::Status {
+                epoch: 12,
+                queue_depth: 345,
+                snapshot_age_s: 1.75,
+                degraded: false,
+            },
+            Response::Status {
+                epoch: 11,
+                queue_depth: 0x7FFF_FFFF,
+                snapshot_age_s: 600.0,
+                degraded: true,
+            },
+        ];
+        encode_responses(&batch, &mut buf);
+        assert_eq!(decode_responses(&buf, &sent).unwrap(), batch);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Client-side retry: full-jitter exponential backoff and a reconnecting
+//! wire client.
+//!
+//! A hardened server sheds load (the tag-4 overloaded frame), reaps slow
+//! connections at its read deadline, and — under fault injection — sees
+//! sockets fail mid-frame. A correct client treats all of those as
+//! *transient*: reconnect, back off, resend. [`RetryPolicy`] is the
+//! backoff schedule (AWS-style full jitter: uniform in
+//! `(0, min(cap, base·2^attempt))`, floored at the server's `retry_after`
+//! hint when one arrived); [`RetryingClient`] is a one-frame-at-a-time
+//! client that applies it.
+//!
+//! Retrying is safe here because every query the load generator sends is
+//! a read (`component` / `path_max` / `connected_under` / `info` /
+//! `epoch` / `status`) — idempotent by construction. A client issuing
+//! `insert`/`delete` through this path would have to tolerate duplicate
+//! application (the dynamic engine treats a duplicate insert as a no-op
+//! edge replace, so in practice it does).
+
+use crate::protocol::{
+    decode_responses, encode_queries, read_frame, write_frame, Query, RecvError, Response,
+    MAX_PAYLOAD,
+};
+use llp_runtime::rng::SmallRng;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Backoff schedule for transient wire failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries allowed per exchange before giving up (the first attempt
+    /// is free; `max_retries = 0` disables retrying).
+    pub max_retries: u32,
+    /// First-retry backoff ceiling; doubles per retry.
+    pub base: Duration,
+    /// Backoff ceiling regardless of attempt count.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(5),
+            cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based), or `None` once
+    /// the budget is spent. Full jitter — uniform in `(0, ceiling)` —
+    /// decorrelates clients that were shed together, so they do not
+    /// stampede back in lockstep; the server's `retry_after` hint, when
+    /// present, floors the draw.
+    pub fn backoff(
+        &self,
+        attempt: u32,
+        hint_ms: Option<u32>,
+        rng: &mut SmallRng,
+    ) -> Option<Duration> {
+        if attempt >= self.max_retries {
+            return None;
+        }
+        let ceiling = (self.base.as_secs_f64() * f64::from(1u32 << attempt.min(20)))
+            .min(self.cap.as_secs_f64());
+        let jittered = Duration::from_secs_f64(ceiling * rng.gen::<f64>());
+        let floor = Duration::from_millis(u64::from(hint_ms.unwrap_or(0)));
+        Some(jittered.max(floor))
+    }
+}
+
+/// Why one exchange attempt failed (all shapes are retried).
+#[derive(Debug)]
+enum AttemptError {
+    /// Connect/send/recv I/O failure, or the server closed mid-exchange.
+    Io(String),
+    /// The server shed us with the overloaded frame.
+    Overloaded(u32),
+    /// The reply did not decode (includes the server's tag-3 error frame,
+    /// which fault injection can trigger by truncating our request
+    /// mid-frame on the server's side of the socket).
+    Proto(String),
+}
+
+impl std::fmt::Display for AttemptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttemptError::Io(e) => write!(f, "i/o: {e}"),
+            AttemptError::Overloaded(ms) => write!(f, "overloaded (retry after {ms} ms)"),
+            AttemptError::Proto(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A reconnecting request/response client: one frame in flight at a time,
+/// transparent reconnect + backoff on any transient failure.
+pub struct RetryingClient {
+    addr: String,
+    policy: RetryPolicy,
+    rng: SmallRng,
+    conn: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)>,
+    payload: Vec<u8>,
+    /// Total retries performed over this client's lifetime.
+    pub retries: u64,
+}
+
+impl RetryingClient {
+    /// A client for `addr`. Connection is lazy — the first [`exchange`]
+    /// dials (and even the dial is retried under the policy).
+    ///
+    /// [`exchange`]: RetryingClient::exchange
+    pub fn new(addr: &str, policy: RetryPolicy, jitter_seed: u64) -> RetryingClient {
+        RetryingClient {
+            addr: addr.to_string(),
+            policy,
+            rng: SmallRng::seed_from_u64(jitter_seed),
+            conn: None,
+            payload: Vec::new(),
+            retries: 0,
+        }
+    }
+
+    fn stream(
+        &mut self,
+    ) -> Result<&mut (BufReader<TcpStream>, BufWriter<TcpStream>), AttemptError> {
+        if self.conn.is_none() {
+            let conn = TcpStream::connect(&self.addr)
+                .map_err(|e| AttemptError::Io(format!("connect {}: {e}", self.addr)))?;
+            conn.set_nodelay(true).ok();
+            let read_half = conn
+                .try_clone()
+                .map_err(|e| AttemptError::Io(e.to_string()))?;
+            self.conn = Some((BufReader::new(read_half), BufWriter::new(conn)));
+        }
+        Ok(self.conn.as_mut().unwrap())
+    }
+
+    fn try_exchange(&mut self, batch: &[Query]) -> Result<Vec<Response>, AttemptError> {
+        encode_queries(batch, &mut self.payload);
+        let payload = std::mem::take(&mut self.payload);
+        let result = (|| {
+            let (reader, writer) = self.stream()?;
+            write_frame(writer, &payload).map_err(|e| AttemptError::Io(format!("send: {e}")))?;
+            let reply = read_frame(reader, MAX_PAYLOAD)
+                .map_err(|e| AttemptError::Io(format!("recv: {e}")))?
+                .ok_or_else(|| AttemptError::Io("server closed the connection".into()))?;
+            decode_responses(&reply, batch).map_err(|e| match e {
+                RecvError::Overloaded { retry_after_ms } => AttemptError::Overloaded(retry_after_ms),
+                RecvError::Proto(p) => AttemptError::Proto(p.to_string()),
+            })
+        })();
+        self.payload = payload;
+        result
+    }
+
+    /// Sends `batch` and returns the decoded responses, reconnecting and
+    /// backing off across transient failures until the policy's retry
+    /// budget is spent.
+    pub fn exchange(&mut self, batch: &[Query]) -> Result<Vec<Response>, String> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_exchange(batch) {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    // Whatever went wrong, the connection's framing state
+                    // is suspect: start the next attempt on a fresh dial.
+                    self.conn = None;
+                    let hint = match e {
+                        AttemptError::Overloaded(ms) => Some(ms),
+                        _ => None,
+                    };
+                    let Some(delay) = self.policy.backoff(attempt, hint, &mut self.rng) else {
+                        return Err(format!(
+                            "{}: giving up after {attempt} retries: {e}",
+                            self.addr
+                        ));
+                    };
+                    attempt += 1;
+                    self.retries += 1;
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_exhausts() {
+        let p = RetryPolicy::default();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for attempt in 0..p.max_retries {
+            let d = p.backoff(attempt, None, &mut rng).unwrap();
+            assert!(d <= p.cap, "attempt {attempt}: {d:?}");
+        }
+        assert!(p.backoff(p.max_retries, None, &mut rng).is_none());
+        assert!(p.backoff(u32::MAX, None, &mut rng).is_none());
+    }
+
+    #[test]
+    fn backoff_ceiling_grows_with_attempts() {
+        // The jitter draw is uniform in (0, ceiling): over many draws the
+        // max observed sleep for a late attempt must exceed the *ceiling*
+        // of the first attempt.
+        let p = RetryPolicy {
+            max_retries: 10,
+            base: Duration::from_millis(8),
+            cap: Duration::from_secs(4),
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let max_late = (0..200)
+            .map(|_| p.backoff(6, None, &mut rng).unwrap())
+            .max()
+            .unwrap();
+        assert!(max_late > p.base, "{max_late:?}");
+    }
+
+    #[test]
+    fn server_hint_floors_the_draw() {
+        let p = RetryPolicy::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = p.backoff(0, Some(50), &mut rng).unwrap();
+            assert!(d >= Duration::from_millis(50), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn unreachable_address_exhausts_retries_with_io_error() {
+        // Reserved TEST-NET-1 address: connect fails fast or times out;
+        // either way the client reports exhaustion, not a panic or hang.
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+        };
+        let mut c = RetryingClient::new("127.0.0.1:1", policy, 9);
+        let err = c.exchange(&[Query::Info]).unwrap_err();
+        assert!(err.contains("giving up after 2 retries"), "{err}");
+        assert_eq!(c.retries, 2);
+    }
+}

@@ -56,6 +56,9 @@ pub struct EpochSnapshot {
     pub num_trees: usize,
     /// Total weight of this epoch's certified forest.
     pub total_weight: f64,
+    /// When this snapshot was published (swap instant). `status` reports
+    /// its age so a stalled updater is observable from the wire.
+    pub published_at: Instant,
     /// The epoch's query index.
     pub index: Arc<PathMaxIndex>,
 }
@@ -126,6 +129,7 @@ impl MsfService {
             m: graph.num_edges(),
             num_trees: index.num_components(),
             total_weight: msf.total_weight,
+            published_at: Instant::now(),
             index,
         });
         Ok(Self::assemble(n, graph.num_edges(), timings, snapshot, None))
@@ -221,6 +225,12 @@ impl MsfService {
         self.shared.update.lock().last_error.clone()
     }
 
+    /// Updates queued and not yet applied (static services: always 0).
+    pub fn pending_updates(&self) -> usize {
+        let s = self.shared.update.lock();
+        s.inserts.len() + s.deletes.len()
+    }
+
     /// Answers one query against the latest snapshot. Out-of-range vertex
     /// ids get [`Response::Invalid`] rather than a panic — the wire is
     /// untrusted.
@@ -269,6 +279,18 @@ impl MsfService {
                 trees: snap.num_trees as u32,
                 total_weight: snap.total_weight,
             },
+            Query::Status => {
+                let (queue_depth, degraded) = {
+                    let s = self.shared.update.lock();
+                    (s.inserts.len() + s.deletes.len(), s.last_error.is_some())
+                };
+                Response::Status {
+                    epoch: snap.epoch as u32,
+                    queue_depth: queue_depth.min(0x7FFF_FFFF) as u32,
+                    snapshot_age_s: snap.published_at.elapsed().as_secs_f64(),
+                    degraded,
+                }
+            }
             _ => Response::Invalid,
         }
     }
@@ -299,6 +321,7 @@ fn snapshot_of(d: &DynamicMsf) -> EpochSnapshot {
         m: d.num_edges(),
         num_trees: d.msf().num_trees,
         total_weight: d.msf().total_weight,
+        published_at: Instant::now(),
         index: Arc::clone(d.index()),
     }
 }
@@ -413,6 +436,25 @@ mod tests {
                 total_weight: svc.total_weight,
             }
         );
+    }
+
+    #[test]
+    fn status_reports_health_on_a_static_service() {
+        let svc = service();
+        match svc.answer(&Query::Status) {
+            Response::Status {
+                epoch,
+                queue_depth,
+                snapshot_age_s,
+                degraded,
+            } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(queue_depth, 0);
+                assert!((0.0..60.0).contains(&snapshot_age_s));
+                assert!(!degraded);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -1,17 +1,20 @@
 //! End-to-end: a real loopback TCP server answering wire queries, checked
 //! against independently computed answers (Kruskal + union-find on the
-//! same graph), plus bad-frame and shutdown behavior.
+//! same graph), plus bad-frame, slow-loris, load-shedding, status, and
+//! shutdown behavior.
 
 use llp_graph::generators::erdos_renyi;
 use llp_runtime::ThreadPool;
 use llp_serve::protocol::{
-    decode_responses, encode_queries, read_frame, write_frame, Query, Response, MAX_PAYLOAD,
+    decode_responses, encode_queries, read_frame, write_frame, Query, RecvError, Response,
+    MAX_PAYLOAD,
 };
-use llp_serve::server::run_server;
+use llp_serve::server::{run_server, ServerConfig};
 use llp_serve::service::MsfService;
 use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Client {
     reader: BufReader<TcpStream>,
@@ -39,7 +42,7 @@ impl Client {
 
 /// Starts a server over a 400-vertex random graph; returns the address,
 /// the service (for ground truth), and the server thread handle.
-fn start() -> (
+fn start_with(cfg: ServerConfig) -> (
     String,
     Arc<MsfService>,
     std::thread::JoinHandle<std::io::Result<usize>>,
@@ -52,9 +55,17 @@ fn start() -> (
     let addr = listener.local_addr().unwrap().to_string();
     let server = {
         let service = Arc::clone(&service);
-        std::thread::spawn(move || run_server(listener, service, 2))
+        std::thread::spawn(move || run_server(listener, service, cfg))
     };
     (addr, service, server)
+}
+
+fn start() -> (
+    String,
+    Arc<MsfService>,
+    std::thread::JoinHandle<std::io::Result<usize>>,
+) {
+    start_with(ServerConfig::with_workers(2))
 }
 
 fn shutdown(addr: &str) {
@@ -110,6 +121,162 @@ fn serves_correct_answers_over_tcp() {
 }
 
 #[test]
+fn status_is_observable_over_the_wire() {
+    let (addr, _service, server) = start();
+    let mut c = Client::connect(&addr);
+    match c.ask(&[Query::Status]).as_slice() {
+        [Response::Status {
+            epoch,
+            queue_depth,
+            snapshot_age_s,
+            degraded,
+        }] => {
+            assert_eq!(*epoch, 0);
+            assert_eq!(*queue_depth, 0);
+            assert!(*snapshot_age_s >= 0.0 && *snapshot_age_s < 120.0);
+            assert!(!degraded);
+        }
+        other => panic!("{other:?}"),
+    }
+    drop(c);
+    shutdown(&addr);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn slow_loris_frees_the_worker_within_the_read_deadline() {
+    // 1 worker and a short read deadline: a peer that writes half a frame
+    // and stalls must not pin the worker — the next client gets served
+    // within roughly the deadline, not after 30 s (or never).
+    let deadline = Duration::from_millis(300);
+    let (addr, service, server) = start_with(ServerConfig {
+        workers: 1,
+        read_timeout: Some(deadline),
+        ..ServerConfig::default()
+    });
+
+    // The loris: half a length prefix, then silence (keep it open).
+    let mut loris = TcpStream::connect(&addr).unwrap();
+    loris.write_all(&[0x19, 0x00]).unwrap();
+    // Give the accept loop time to hand the loris to the single worker,
+    // so the victim below genuinely queues behind it.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let t = Instant::now();
+    let mut victim = Client::connect(&addr);
+    let got = victim.ask(&[Query::Component(7)]);
+    let waited = t.elapsed();
+    assert_eq!(got, vec![service.answer(&Query::Component(7))]);
+    // Served only after the loris was reaped, but well within a small
+    // multiple of the deadline (the 30 s default would trip this).
+    assert!(
+        waited < 10 * deadline,
+        "worker freed after {waited:?}, deadline {deadline:?}"
+    );
+
+    drop(victim);
+    drop(loris);
+    shutdown(&addr);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn full_queue_sheds_with_the_overloaded_frame() {
+    let (addr, service, server) = start_with(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        retry_after_ms: 123,
+        ..ServerConfig::default()
+    });
+
+    // Occupy the single worker: an open connection mid-session.
+    let mut holder = Client::connect(&addr);
+    holder.ask(&[Query::Info]);
+    std::thread::sleep(Duration::from_millis(100));
+    // Fill the one queue slot.
+    let parked = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The next arrival must be shed with the tag-4 frame, not ignored.
+    let surplus = TcpStream::connect(&addr).unwrap();
+    surplus
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(surplus);
+    let reply = read_frame(&mut reader, MAX_PAYLOAD)
+        .expect("overloaded frame, not a dropped socket")
+        .expect("overloaded frame, not bare EOF");
+    assert_eq!(
+        decode_responses(&reply, &[Query::Info]).unwrap_err(),
+        RecvError::Overloaded { retry_after_ms: 123 }
+    );
+    drop(reader);
+
+    // Releasing the worker drains the parked connection: service resumes.
+    drop(holder);
+    let mut parked_reader = BufReader::new(parked.try_clone().unwrap());
+    let mut payload = Vec::new();
+    encode_queries(&[Query::Component(3)], &mut payload);
+    let mut parked_writer = parked;
+    write_frame(&mut parked_writer, &payload).unwrap();
+    let reply = read_frame(&mut parked_reader, MAX_PAYLOAD).unwrap().unwrap();
+    assert_eq!(
+        decode_responses(&reply, &[Query::Component(3)]).unwrap(),
+        vec![service.answer(&Query::Component(3))]
+    );
+    drop(parked_writer);
+    drop(parked_reader);
+
+    shutdown(&addr);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn retrying_client_rides_out_shedding() {
+    use llp_serve::retry::{RetryPolicy, RetryingClient};
+    let (addr, service, server) = start_with(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        retry_after_ms: 20,
+        ..ServerConfig::default()
+    });
+
+    // Saturate: worker busy + queue slot taken.
+    let mut holder = Client::connect(&addr);
+    holder.ask(&[Query::Info]);
+    std::thread::sleep(Duration::from_millis(100));
+    let parked = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Free the capacity shortly after the retrying client's first
+    // (shed) attempt, so a retry can land.
+    let unblock = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(400));
+        drop(holder);
+        drop(parked);
+    });
+
+    let mut client = RetryingClient::new(
+        &addr,
+        RetryPolicy {
+            max_retries: 20,
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(200),
+        },
+        7,
+    );
+    let got = client.exchange(&[Query::Component(11)]).unwrap();
+    assert_eq!(got, vec![service.answer(&Query::Component(11))]);
+    assert!(client.retries >= 1, "expected at least one shed-then-retry");
+    unblock.join().unwrap();
+
+    // Free the worker before shutdown queues behind our open connection.
+    drop(client);
+    shutdown(&addr);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
 fn many_clients_share_the_workers() {
     let (addr, service, server) = start();
     // 4 concurrent clients against 2 workers: two are served immediately,
@@ -146,8 +313,10 @@ fn expect_error_frame(conn: &TcpStream) {
     let reply = read_frame(&mut reader, MAX_PAYLOAD)
         .expect("error frame, not a dropped socket")
         .expect("error frame, not bare EOF");
-    let err = decode_responses(&reply, &[Query::Info]).unwrap_err();
-    assert!(err.0.contains("malformed"), "{err}");
+    match decode_responses(&reply, &[Query::Info]).unwrap_err() {
+        RecvError::Proto(e) => assert!(e.0.contains("malformed"), "{e}"),
+        other => panic!("expected the protocol error frame, got {other:?}"),
+    }
     // And then the server closes the connection.
     assert!(matches!(read_frame(&mut reader, MAX_PAYLOAD), Ok(None)));
 }
@@ -164,7 +333,7 @@ fn bad_frames_get_an_error_response_and_never_kill_a_worker() {
     let addr = listener.local_addr().unwrap().to_string();
     let server = {
         let service = Arc::clone(&service);
-        std::thread::spawn(move || run_server(listener, service, 1))
+        std::thread::spawn(move || run_server(listener, service, ServerConfig::with_workers(1)))
     };
 
     // Garbage length prefix far beyond the payload cap.
@@ -221,7 +390,7 @@ fn dynamic_updates_apply_while_the_server_answers() {
     let addr = listener.local_addr().unwrap().to_string();
     let server = {
         let service = Arc::clone(&service);
-        std::thread::spawn(move || run_server(listener, service, 2))
+        std::thread::spawn(move || run_server(listener, service, ServerConfig::with_workers(2)))
     };
     let mut c = Client::connect(&addr);
 
